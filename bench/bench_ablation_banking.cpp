@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: what would pre-processing buy? (paper Sec. VI-E future
+ * work on workload imbalance).
+ *
+ * Compares FlowGNN's zero-pre-processing modular destination banking
+ * against a greedy least-loaded assignment that requires a pre-pass
+ * over the edge list, reporting both the static imbalance metric and
+ * the measured end-to-end latency. The paper's design bet is that the
+ * modular hash is good enough (Table VII shows <9% imbalance); this
+ * bench quantifies how little the pre-processing would win.
+ */
+#include "bench_common.h"
+#include "graph/partition.h"
+
+using namespace flowgnn;
+
+namespace {
+
+double
+avg_latency(const Model &model, DatasetKind dataset, std::size_t count,
+            BankPolicy policy)
+{
+    EngineConfig cfg;
+    cfg.bank_policy = policy;
+    Engine engine(model, cfg);
+    return bench::run_stream(engine, dataset, count).avg_latency_ms;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation — modular vs greedy-balanced destination banking",
+        "Modulo = zero pre-processing (FlowGNN's design point); "
+        "balanced = greedy least-loaded pre-pass (future-work "
+        "ablation). Pedge = 4.");
+
+    std::printf("%-9s | %-7s | %20s | %23s | %8s\n", "Dataset", "Model",
+                "imbalance mod/bal (%)", "latency mod/bal (ms)", "gain");
+    bench::rule(84);
+
+    struct Case {
+        DatasetKind dataset;
+        ModelKind model;
+        std::size_t graphs;
+    };
+    const Case cases[] = {
+        {DatasetKind::kMolHiv, ModelKind::kGcn, 48},
+        {DatasetKind::kMolHiv, ModelKind::kGin, 48},
+        {DatasetKind::kHep, ModelKind::kGcn, 24},
+        {DatasetKind::kCora, ModelKind::kGcn, 1},
+    };
+
+    for (const auto &c : cases) {
+        GraphSample probe = make_sample(c.dataset, 0);
+        Model model =
+            make_model(c.model, probe.node_dim(), probe.edge_dim());
+
+        // Static imbalance, averaged over the stream.
+        double imb_mod = 0.0, imb_bal = 0.0;
+        SampleStream stream(c.dataset, c.graphs);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            GraphSample s = stream.next();
+            imb_mod += workload_imbalance(s.graph, 4);
+            imb_bal += workload_imbalance(bank_edge_counts(
+                s.graph, balanced_bank_assignment(s.graph, 4), 4));
+        }
+        imb_mod = 100.0 * imb_mod / stream.size();
+        imb_bal = 100.0 * imb_bal / stream.size();
+
+        double lat_mod = avg_latency(model, c.dataset, c.graphs,
+                                     BankPolicy::kModulo);
+        double lat_bal = avg_latency(model, c.dataset, c.graphs,
+                                     BankPolicy::kGreedyBalanced);
+
+        std::printf(
+            "%-9s | %-7s | %8.2f / %9.2f | %9.4f / %11.4f | %6.2f%%\n",
+            dataset_spec(c.dataset).name, model_name(c.model), imb_mod,
+            imb_bal, lat_mod, lat_bal,
+            100.0 * (lat_mod - lat_bal) / lat_mod);
+    }
+    bench::rule(84);
+    std::printf("Expected outcome: balanced banking removes most of the "
+                "residual imbalance but buys only a few percent of "
+                "latency — validating the zero-pre-processing design.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: adapter-to-MP queue depth (the multi-queue dataflow's key
+ * buffering resource, paper Fig. 3(b)).
+ *
+ * Sweeps the FIFO depth and reports latency, adapter stall cycles, and
+ * peak queue occupancy. Shallow queues throttle the NT output stream
+ * through multicast backpressure; past a modest depth the pipeline is
+ * compute-bound and deeper queues only cost BRAM. Also reports the
+ * cross-graph streaming throughput (StreamRunner) at each depth.
+ */
+#include "bench_common.h"
+#include "core/stream.h"
+
+using namespace flowgnn;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation — adapter-to-MP queue depth (GIN on MolHIV, GCN on "
+        "HEP)",
+        "Depth 1 models a bare register; the default is 8. Latency "
+        "averaged over 48 / 24 streamed graphs.");
+
+    struct Case {
+        DatasetKind dataset;
+        ModelKind model;
+        std::size_t graphs;
+    };
+    const Case cases[] = {
+        {DatasetKind::kMolHiv, ModelKind::kGin, 48},
+        {DatasetKind::kHep, ModelKind::kGcn, 24},
+    };
+
+    for (const auto &c : cases) {
+        GraphSample probe = make_sample(c.dataset, 0);
+        Model model =
+            make_model(c.model, probe.node_dim(), probe.edge_dim());
+        std::printf("--- %s on %s ---\n", model_name(c.model),
+                    dataset_spec(c.dataset).name);
+        std::printf("%-6s | %12s | %14s | %10s | %14s\n", "depth",
+                    "latency (ms)", "stalls/graph", "peak occ.",
+                    "stream (g/s)");
+        bench::rule(70);
+        for (std::size_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
+            EngineConfig cfg;
+            cfg.queue_depth = depth;
+            Engine engine(model, cfg);
+
+            double stalls = 0.0;
+            std::size_t peak = 0;
+            SampleStream stream(c.dataset, c.graphs);
+            double latency = 0.0;
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                RunResult r = engine.run(stream.next());
+                latency += r.latency_ms();
+                stalls +=
+                    static_cast<double>(r.stats.adapter_stall_cycles);
+                peak = std::max(peak, r.stats.queue_peak_occupancy);
+            }
+            latency /= c.graphs;
+            stalls /= c.graphs;
+
+            StreamRunner runner(engine);
+            SampleStream stream2(c.dataset, c.graphs);
+            StreamRunStats st = runner.run(stream2, c.graphs);
+
+            std::printf("%-6zu | %12.4f | %14.1f | %10zu | %14.0f\n",
+                        depth, latency, stalls, peak,
+                        st.graphs_per_second(300.0));
+        }
+        bench::rule(70);
+    }
+    std::printf("Expected: stalls collapse by depth ~8 and latency "
+                "flattens — the default depth is sufficient.\n");
+    return 0;
+}

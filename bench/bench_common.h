@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmarks: streaming
+ * latency measurement and aligned table printing. Each bench binary
+ * regenerates one table or figure of the paper and prints the paper's
+ * published values next to ours.
+ */
+#ifndef FLOWGNN_BENCH_COMMON_H
+#define FLOWGNN_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+
+namespace flowgnn::bench {
+
+/** Aggregated engine results over a sample stream. */
+struct StreamResult {
+    double avg_latency_ms = 0.0;
+    double avg_cycles = 0.0;
+    double observed_imbalance = 0.0;
+    std::size_t graphs = 0;
+};
+
+/**
+ * Streams `count` consecutive graphs (batch size 1, zero
+ * pre-processing) through the engine and averages latency, mirroring
+ * the paper's on-board measurement loop.
+ */
+inline StreamResult
+run_stream(const Engine &engine, DatasetKind dataset, std::size_t count)
+{
+    SampleStream stream(dataset, count);
+    StreamResult out;
+    out.graphs = stream.size();
+    double imb = 0.0;
+    for (std::size_t i = 0; i < out.graphs; ++i) {
+        RunResult r = engine.run(stream.next());
+        out.avg_latency_ms += r.latency_ms(engine.config().clock_mhz);
+        out.avg_cycles += static_cast<double>(r.stats.total_cycles);
+        imb += r.stats.observed_mp_imbalance();
+    }
+    out.avg_latency_ms /= static_cast<double>(out.graphs);
+    out.avg_cycles /= static_cast<double>(out.graphs);
+    out.observed_imbalance = imb / static_cast<double>(out.graphs);
+    return out;
+}
+
+/** Prints a horizontal rule sized to the table width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *what, const char *detail)
+{
+    std::printf("\n=== FlowGNN reproduction: %s ===\n%s\n\n", what, detail);
+}
+
+} // namespace flowgnn::bench
+
+#endif // FLOWGNN_BENCH_COMMON_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: design-space exploration over the four
+ * parallelization parameters — Pnode x Pedge in {1,2,4}^2, Papply in
+ * {1,2,4}, Pscatter in {1,2,4,8} (108 points) — GCN on MolHIV,
+ * reported as speedup over the all-ones configuration.
+ */
+#include "bench_common.h"
+
+using namespace flowgnn;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 10 — DSE over Pnode/Pedge/Papply/Pscatter (GCN, MolHIV)",
+        "Speedup over the Pnode=Pedge=Papply=Pscatter=1 baseline; 108 "
+        "configurations. Paper's best point: 5.76x at "
+        "Pnode=2 Pedge=4 Papply=4 Pscatter=8.");
+
+    const std::size_t kGraphs = 12;
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+    Model gcn =
+        make_model(ModelKind::kGcn, probe.node_dim(), probe.edge_dim());
+
+    auto measure = [&](std::uint32_t pn, std::uint32_t pe,
+                       std::uint32_t pa, std::uint32_t ps) {
+        EngineConfig c;
+        c.p_node = pn;
+        c.p_edge = pe;
+        c.p_apply = pa;
+        c.p_scatter = ps;
+        Engine engine(gcn, c);
+        return bench::run_stream(engine, DatasetKind::kMolHiv, kGraphs)
+            .avg_cycles;
+    };
+
+    const std::uint32_t pn_vals[] = {1, 2, 4};
+    const std::uint32_t pe_vals[] = {1, 2, 4};
+    const std::uint32_t pa_vals[] = {1, 2, 4};
+    const std::uint32_t ps_vals[] = {1, 2, 4, 8};
+
+    double base = measure(1, 1, 1, 1);
+    double best = 0.0;
+    std::uint32_t best_cfg[4] = {1, 1, 1, 1};
+
+    for (std::uint32_t pa : pa_vals) {
+        for (std::uint32_t ps : ps_vals) {
+            std::printf("Papply=%u Pscatter=%u  (rows: Pnode; cols: "
+                        "Pedge 1/2/4)\n",
+                        pa, ps);
+            for (std::uint32_t pn : pn_vals) {
+                std::printf("  Pnode=%u:", pn);
+                for (std::uint32_t pe : pe_vals) {
+                    double cycles = measure(pn, pe, pa, ps);
+                    double speedup = base / cycles;
+                    if (speedup > best) {
+                        best = speedup;
+                        best_cfg[0] = pn;
+                        best_cfg[1] = pe;
+                        best_cfg[2] = pa;
+                        best_cfg[3] = ps;
+                    }
+                    std::printf("  %5.2fx", speedup);
+                }
+                std::printf("\n");
+            }
+        }
+    }
+    bench::rule(60);
+    std::printf("Best measured: %.2fx at Pnode=%u Pedge=%u Papply=%u "
+                "Pscatter=%u (paper: 5.76x at 2/4/4/8)\n",
+                best, best_cfg[0], best_cfg[1], best_cfg[2], best_cfg[3]);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: average per-graph latency on MolHIV and
+ * MolPCBA for all six models — FlowGNN at batch 1 vs the GPU model
+ * swept over batch sizes 1..1024 and the CPU at batch 1. The
+ * qualitative claims to check: FlowGNN wins by orders of magnitude at
+ * batch 1, the GPU approaches or passes it around batch 64-256 for
+ * GCN/GIN/PNA, and GAT/DGN never catch up.
+ */
+#include "bench_common.h"
+#include "perf/baselines.h"
+
+using namespace flowgnn;
+
+namespace {
+
+// Fig. 7 FlowGNN per-graph latencies read off the plots (ms).
+double
+paper_flowgnn_ms(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::kGin: return 0.05;
+      case ModelKind::kGinVn: return 0.06;
+      case ModelKind::kGcn: return 0.02;
+      case ModelKind::kGat: return 0.03;
+      case ModelKind::kPna: return 0.04;
+      case ModelKind::kDgn: return 0.06;
+      default: return 0.0;
+    }
+}
+
+void
+run_dataset(DatasetKind dataset, std::size_t graphs)
+{
+    const std::uint32_t batches[] = {1, 4, 16, 64, 256, 1024};
+    GraphSample probe = make_sample(dataset, 0);
+
+    std::printf("--- %s ---\n", dataset_spec(dataset).name);
+    std::printf("%-7s | %9s | %9s |", "Model", "FlowGNN",
+                "(paper)");
+    for (std::uint32_t b : batches)
+        std::printf(" GPU@%-5u |", b);
+    std::printf(" %8s | crossover\n", "CPU@1");
+    bench::rule(118);
+
+    for (ModelKind kind : kPaperModels) {
+        Model model =
+            make_model(kind, probe.node_dim(), probe.edge_dim());
+        Engine engine(model, {});
+        bench::StreamResult fg = bench::run_stream(engine, dataset,
+                                                   graphs);
+        GraphSample prepared = model.prepare(probe);
+        CpuModel cpu(kind);
+        GpuModel gpu(kind);
+
+        std::printf("%-7s | %7.4f   | %7.4f   |",
+                    model_name(kind), fg.avg_latency_ms,
+                    paper_flowgnn_ms(kind));
+        std::uint32_t crossover = 0;
+        for (std::uint32_t b : batches) {
+            double g = gpu.latency_ms(model, prepared, b);
+            if (crossover == 0 && g < fg.avg_latency_ms)
+                crossover = b;
+            std::printf(" %9.4f |", g);
+        }
+        std::printf(" %8.3f | ", cpu.latency_ms(model, prepared));
+        if (crossover == 0)
+            std::printf("never (GPU loses at all batch sizes)\n");
+        else
+            std::printf("batch %u\n", crossover);
+    }
+    bench::rule(118);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 7 — latency per graph vs GPU batch size (ms)",
+        "FlowGNN: measured batch-1 cycle simulation; GPU/CPU: "
+        "calibrated analytical baselines.");
+    run_dataset(DatasetKind::kMolHiv, 64);
+    run_dataset(DatasetKind::kMolPcba, 64);
+    std::printf("Paper claims: FlowGNN 53.4-477.6x faster than GPU at "
+                "batch 1; consistently faster up to batch 64; GAT/DGN "
+                "faster even at batch 1024.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: per-graph latency on the single-graph
+ * citation datasets Cora and CiteSeer for all six models, FlowGNN vs
+ * CPU and GPU at batch size 1 (batching is meaningless for a single
+ * graph).
+ */
+#include "bench_common.h"
+#include "perf/baselines.h"
+
+using namespace flowgnn;
+
+namespace {
+
+// Fig. 8 published FlowGNN latencies (ms), [dataset][model] with
+// models ordered GIN, GIN+VN, GCN, GAT, PNA, DGN.
+const double kPaperFlowGnn[2][6] = {
+    {2.11, 2.50, 2.33, 0.84, 2.55, 2.03}, // Cora
+    {2.42, 2.89, 2.70, 0.92, 3.02, 2.27}, // CiteSeer
+};
+const double kPaperGpuSpeedup[2][6] = {
+    {1.7, 1.9, 2.2, 37.8, 3.2, 127.4}, // Cora: GPU/FlowGNN
+    {1.5, 1.7, 1.9, 69.6, 2.7, 98.7},  // CiteSeer
+};
+
+void
+run_dataset(DatasetKind dataset, std::size_t row)
+{
+    GraphSample sample = make_sample(dataset, 0);
+    std::printf("--- %s (%u nodes, %zu edges) ---\n",
+                dataset_spec(dataset).name, sample.num_nodes(),
+                sample.num_edges());
+    std::printf("%-7s | %19s | %8s | %8s | %18s\n", "Model",
+                "FlowGNN ms (pap/meas)", "CPU ms", "GPU ms",
+                "GPU/FlowGNN (pap/meas)");
+    bench::rule(84);
+
+    std::size_t col = 0;
+    for (ModelKind kind : kPaperModels) {
+        Model model =
+            make_model(kind, sample.node_dim(), sample.edge_dim());
+        Engine engine(model, {});
+        RunResult r = engine.run(sample);
+        double fg_ms = r.latency_ms();
+
+        GraphSample prepared = model.prepare(sample);
+        double cpu = CpuModel(kind).latency_ms(model, prepared);
+        double gpu = GpuModel(kind).latency_ms(model, prepared, 1);
+
+        std::printf(
+            "%-7s | %6.2f / %10.2f | %8.2f | %8.2f | %6.1f / %9.1f\n",
+            model_name(kind), kPaperFlowGnn[row][col], fg_ms, cpu, gpu,
+            kPaperGpuSpeedup[row][col], gpu / fg_ms);
+        ++col;
+    }
+    bench::rule(84);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 8 — single-graph latency on Cora and CiteSeer (ms)",
+        "Batch size 1 on every platform (single input graph). FlowGNN "
+        "outperforms CPU and GPU on all six models in the paper.");
+    run_dataset(DatasetKind::kCora, 0);
+    run_dataset(DatasetKind::kCiteSeer, 1);
+    return 0;
+}

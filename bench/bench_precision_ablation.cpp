@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: fixed-point datapath precision.
+ *
+ * The deployed FlowGNN kernels compute in ap_fixed; this bench sweeps
+ * Q-formats and reports the output drift vs the fp32 reference for
+ * every paper model on MolHIV — the analysis behind choosing a 16-bit
+ * datapath for the board build. Cycle counts are format-independent
+ * (precision changes datapath width, not the schedule).
+ */
+#include <cmath>
+
+#include "bench_common.h"
+#include "tensor/fixed_point.h"
+#include "tensor/ops.h"
+
+using namespace flowgnn;
+
+namespace {
+
+/** Mean/max embedding error over a small stream of graphs. */
+struct Drift {
+    double max_abs = 0.0;
+    double mean_abs = 0.0;
+};
+
+Drift
+measure_drift(const Model &model, FixedPointFormat fmt,
+              std::size_t graphs)
+{
+    EngineConfig cfg;
+    cfg.emulate_fixed_point = true;
+    cfg.fixed_point = fmt;
+    Engine engine(model, cfg);
+
+    Drift drift;
+    double sum = 0.0;
+    std::size_t count = 0;
+    SampleStream stream(DatasetKind::kMolHiv, graphs);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        GraphSample s = stream.next();
+        Matrix quantized = engine.run(s).embeddings;
+        Matrix reference =
+            model.reference_embeddings(model.prepare(s));
+        for (std::size_t k = 0; k < quantized.size(); ++k) {
+            double d = std::abs(quantized.data()[k] -
+                                reference.data()[k]);
+            drift.max_abs = std::max(drift.max_abs, d);
+            sum += d;
+            ++count;
+        }
+    }
+    drift.mean_abs = sum / static_cast<double>(count);
+    return drift;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation — fixed-point datapath precision (MolHIV, 16 graphs)",
+        "Embedding drift vs the fp32 reference per Q-format. The board "
+        "kernels use a 16-bit datapath; 8 bits visibly degrades.");
+
+    const FixedPointFormat formats[] = {
+        {24, 12}, {16, 8}, {12, 6}, {8, 4}};
+
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+
+    std::printf("%-7s", "Model");
+    char name[16];
+    for (const auto &fmt : formats)
+        std::printf(" | %-21s", fmt.name_into(name, sizeof name));
+    std::printf("\n%-7s", "");
+    for (std::size_t i = 0; i < std::size(formats); ++i)
+        std::printf(" | %10s %10s", "max", "mean");
+    std::printf("\n");
+    bench::rule(105);
+
+    for (ModelKind kind : kPaperModels) {
+        Model model =
+            make_model(kind, probe.node_dim(), probe.edge_dim());
+        std::printf("%-7s", model_name(kind));
+        for (const auto &fmt : formats) {
+            Drift d = measure_drift(model, fmt, 16);
+            std::printf(" | %10.2e %10.2e", d.max_abs, d.mean_abs);
+        }
+        std::printf("\n");
+    }
+    bench::rule(105);
+    std::printf("Expected: drift shrinks monotonically with precision. "
+                "GIN+VN saturates below 24 bits: the virtual node\n"
+                "amplifies (untrained) activations beyond the 16-bit "
+                "range — why deployments calibrate formats per model.\n");
+    return 0;
+}

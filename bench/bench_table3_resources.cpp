@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table III: per-model resource usage on the Alveo
+ * U50 (2 NT units, 4 MP units, 300 MHz), using the resource estimator
+ * in place of Vivado place-and-route.
+ */
+#include "bench_common.h"
+#include "perf/resources.h"
+
+using namespace flowgnn;
+
+namespace {
+
+struct PaperRow {
+    ModelKind kind;
+    ResourceUsage paper;
+};
+
+// Table III published values.
+const PaperRow kPaper[] = {
+    {ModelKind::kGin, {1741, 262863, 166098, 204}},
+    {ModelKind::kGcn, {1048, 229521, 192328, 185}},
+    {ModelKind::kPna, {2499, 205641, 203125, 767}},
+    {ModelKind::kGat, {2488, 148750, 134439, 335}},
+    {ModelKind::kDgn, {1563, 200602, 156681, 462}},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table III — resource usage on Xilinx Alveo U50",
+                  "Estimator model (no Vivado); paper values alongside. "
+                  "Config: 2 NT / 4 MP units @ 300 MHz.");
+
+    EngineConfig cfg; // paper defaults
+
+    std::printf("%-7s | %22s | %22s | %22s | %18s\n", "Model",
+                "DSP (paper/est)", "LUT (paper/est)", "FF (paper/est)",
+                "BRAM (paper/est)");
+    bench::rule(104);
+    for (const auto &row : kPaper) {
+        Model model = make_model(row.kind, 9, 3);
+        ResourceUsage est = estimate_resources(model, cfg);
+        std::printf("%-7s | %9u / %9u | %9u / %9u | %9u / %9u | %7u / %7u\n",
+                    model_name(row.kind), row.paper.dsp, est.dsp,
+                    row.paper.lut, est.lut, row.paper.ff, est.ff,
+                    row.paper.bram, est.bram);
+        if (!fits_u50(est))
+            std::printf("  WARNING: estimate exceeds U50 resources!\n");
+    }
+    bench::rule(104);
+    std::printf("Available on U50: DSP %u, LUT %u, FF %u, BRAM %u\n",
+                kAlveoU50.dsp, kAlveoU50.lut, kAlveoU50.ff,
+                kAlveoU50.bram);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Table VI: energy efficiency (graphs/kJ) on MolHIV
+ * at batch size 1, CPU vs GPU vs FlowGNN.
+ */
+#include "bench_common.h"
+#include "perf/baselines.h"
+#include "perf/energy.h"
+
+using namespace flowgnn;
+
+namespace {
+
+struct PaperRow {
+    ModelKind kind;
+    double cpu_ee, gpu_ee, flowgnn_ee;
+};
+
+// Table VI published values (graphs/kJ).
+const PaperRow kPaper[] = {
+    {ModelKind::kGin, 4.48e3, 4.50e3, 7.34e5},
+    {ModelKind::kGinVn, 3.16e3, 2.99e3, 6.46e5},
+    {ModelKind::kGcn, 4.02e3, 3.50e3, 8.88e5},
+    {ModelKind::kGat, 6.29e3, 5.41e3, 2.29e6},
+    {ModelKind::kPna, 2.52e3, 2.33e3, 6.11e5},
+    {ModelKind::kDgn, 1.40e3, 7.96e2, 1.39e6},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Table VI — energy efficiency (graphs/kJ), MolHIV, batch 1",
+        "EE = 1e6 / (platform power [W] x latency [ms]); platform "
+        "powers: CPU 105 W, GPU 140 W, FPGA 27 W.");
+
+    const std::size_t kGraphs = 64;
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+
+    std::printf("%-7s | %19s | %19s | %23s | %9s\n", "Model",
+                "CPU (pap/meas)", "GPU (pap/meas)",
+                "FlowGNN (pap/meas)", "vs GPU");
+    bench::rule(94);
+    for (const auto &row : kPaper) {
+        Model model =
+            make_model(row.kind, probe.node_dim(), probe.edge_dim());
+        Engine engine(model, {});
+        bench::StreamResult fg =
+            bench::run_stream(engine, DatasetKind::kMolHiv, kGraphs);
+
+        GraphSample prepared = model.prepare(probe);
+        double cpu_ms = CpuModel(row.kind).latency_ms(model, prepared);
+        double gpu_ms =
+            GpuModel(row.kind).latency_ms(model, prepared, 1);
+
+        double cpu_ee = graphs_per_kj(Platform::kCpu, cpu_ms);
+        double gpu_ee = graphs_per_kj(Platform::kGpu, gpu_ms);
+        double fg_ee =
+            graphs_per_kj(Platform::kFpga, fg.avg_latency_ms);
+
+        std::printf(
+            "%-7s | %8.2e / %8.2e | %8.2e / %8.2e | %9.2e / %9.2e | %7.0fx\n",
+            model_name(row.kind), row.cpu_ee, cpu_ee, row.gpu_ee, gpu_ee,
+            row.flowgnn_ee, fg_ee, fg_ee / gpu_ee);
+    }
+    bench::rule(94);
+    std::printf("Paper: 163x-1748x energy efficiency over GPU.\n");
+    return 0;
+}

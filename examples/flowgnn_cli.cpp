@@ -1,0 +1,239 @@
+/**
+ * @file
+ * flowgnn_cli — command-line driver for the accelerator simulator.
+ *
+ * Runs any model on any dataset with a chosen parallelism
+ * configuration and prints latency, utilization, and throughput; with
+ * --dse it instead searches for the fastest configuration that fits
+ * the Alveo U50.
+ *
+ * Examples:
+ *   flowgnn_cli --model gin --dataset molhiv --graphs 100
+ *   flowgnn_cli --model gat --dataset hep --pnode 4 --pedge 8
+ *   flowgnn_cli --model pna --dataset molhiv --dse
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "core/engine.h"
+#include "core/stream.h"
+#include "core/trace.h"
+#include "perf/dse.h"
+
+using namespace flowgnn;
+
+namespace {
+
+struct CliOptions {
+    ModelKind model = ModelKind::kGin;
+    DatasetKind dataset = DatasetKind::kMolHiv;
+    std::size_t graphs = 32;
+    EngineConfig config;
+    bool run_dse = false;
+    bool balanced_banks = false;
+    std::string trace_path;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --model <gcn|gin|gin-vn|gat|pna|dgn|sage|sgc|gcn16>\n"
+        "  --dataset <molhiv|molpcba|hep|cora|citeseer|pubmed|reddit>\n"
+        "  --graphs N          graphs to stream (default 32)\n"
+        "  --pnode/--pedge/--papply/--pscatter N\n"
+        "  --mode <flowgnn|baseline|fixed|nonpipelined>\n"
+        "  --queue-depth N     adapter FIFO depth (default 8)\n"
+        "  --balanced-banks    greedy-balanced MP banking ablation\n"
+        "  --trace FILE        write a Chrome trace of the first graph\n"
+        "  --dse               search the best U50-fitting config\n",
+        argv0);
+    std::exit(2);
+}
+
+ModelKind
+parse_model(const std::string &s, const char *argv0)
+{
+    if (s == "gcn") return ModelKind::kGcn;
+    if (s == "gin") return ModelKind::kGin;
+    if (s == "gin-vn") return ModelKind::kGinVn;
+    if (s == "gat") return ModelKind::kGat;
+    if (s == "pna") return ModelKind::kPna;
+    if (s == "dgn") return ModelKind::kDgn;
+    if (s == "sage") return ModelKind::kSage;
+    if (s == "sgc") return ModelKind::kSgc;
+    if (s == "gcn16") return ModelKind::kGcn16;
+    std::printf("unknown model '%s'\n", s.c_str());
+    usage(argv0);
+}
+
+DatasetKind
+parse_dataset(const std::string &s, const char *argv0)
+{
+    if (s == "molhiv") return DatasetKind::kMolHiv;
+    if (s == "molpcba") return DatasetKind::kMolPcba;
+    if (s == "hep") return DatasetKind::kHep;
+    if (s == "cora") return DatasetKind::kCora;
+    if (s == "citeseer") return DatasetKind::kCiteSeer;
+    if (s == "pubmed") return DatasetKind::kPubMed;
+    if (s == "reddit") return DatasetKind::kReddit;
+    std::printf("unknown dataset '%s'\n", s.c_str());
+    usage(argv0);
+}
+
+PipelineMode
+parse_mode(const std::string &s, const char *argv0)
+{
+    if (s == "flowgnn") return PipelineMode::kFlowGnn;
+    if (s == "baseline") return PipelineMode::kBaselineDataflow;
+    if (s == "fixed") return PipelineMode::kFixedPipeline;
+    if (s == "nonpipelined") return PipelineMode::kNonPipelined;
+    std::printf("unknown mode '%s'\n", s.c_str());
+    usage(argv0);
+}
+
+CliOptions
+parse_args(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opt.model = parse_model(next(), argv[0]);
+        } else if (arg == "--dataset") {
+            opt.dataset = parse_dataset(next(), argv[0]);
+        } else if (arg == "--graphs") {
+            opt.graphs = std::stoul(next());
+        } else if (arg == "--pnode") {
+            opt.config.p_node = std::stoul(next());
+        } else if (arg == "--pedge") {
+            opt.config.p_edge = std::stoul(next());
+        } else if (arg == "--papply") {
+            opt.config.p_apply = std::stoul(next());
+        } else if (arg == "--pscatter") {
+            opt.config.p_scatter = std::stoul(next());
+        } else if (arg == "--mode") {
+            opt.config.mode = parse_mode(next(), argv[0]);
+        } else if (arg == "--queue-depth") {
+            opt.config.queue_depth = std::stoul(next());
+        } else if (arg == "--balanced-banks") {
+            opt.balanced_banks = true;
+        } else if (arg == "--trace") {
+            opt.trace_path = next();
+        } else if (arg == "--dse") {
+            opt.run_dse = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.balanced_banks)
+        opt.config.bank_policy = BankPolicy::kGreedyBalanced;
+    return opt;
+}
+
+int
+run_dse(const CliOptions &opt)
+{
+    GraphSample probe = make_sample(opt.dataset, 0);
+    Model model =
+        make_model(opt.model, probe.node_dim(), probe.edge_dim());
+    std::printf("Exploring the design space for %s on %s...\n\n",
+                model_name(opt.model), dataset_spec(opt.dataset).name);
+    auto points = explore_design_space(model, probe);
+    std::printf("%-16s | %8s | %10s | %6s | %5s | %s\n", "config",
+                "cycles", "ms", "DSP", "BRAM", "fits U50");
+    int shown = 0;
+    for (const auto &pt : points) {
+        if (++shown > 10)
+            break;
+        std::printf("Pn%u Pe%u Pa%u Ps%-3u | %8llu | %10.4f | %6u | %5u | %s\n",
+                    pt.config.p_node, pt.config.p_edge,
+                    pt.config.p_apply, pt.config.p_scatter,
+                    static_cast<unsigned long long>(pt.cycles),
+                    pt.latency_ms(), pt.resources.dsp, pt.resources.bram,
+                    pt.fits ? "yes" : "NO");
+    }
+    DsePoint best = best_fitting_config(model, probe);
+    std::printf("\nRecommended: Pnode=%u Pedge=%u Papply=%u Pscatter=%u "
+                "(%.4f ms, %u DSPs)\n",
+                best.config.p_node, best.config.p_edge,
+                best.config.p_apply, best.config.p_scatter,
+                best.latency_ms(), best.resources.dsp);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opt = parse_args(argc, argv);
+    if (opt.run_dse)
+        return run_dse(opt);
+
+    GraphSample probe = make_sample(opt.dataset, 0);
+    Model model =
+        make_model(opt.model, probe.node_dim(), probe.edge_dim());
+    if (!opt.trace_path.empty())
+        opt.config.capture_trace = true;
+    Engine engine(model, opt.config);
+
+    if (!opt.trace_path.empty()) {
+        RunResult r = engine.run(probe);
+        std::ofstream os(opt.trace_path);
+        write_chrome_trace(os, r.stats.trace, opt.config.clock_mhz);
+        std::printf("Chrome trace of graph 0 (%zu events) written to "
+                    "%s\n\n",
+                    r.stats.trace.size(), opt.trace_path.c_str());
+    }
+
+    std::printf("%s on %s, %s, Pnode=%u Pedge=%u Papply=%u Pscatter=%u, "
+                "queue depth %zu\n",
+                model_name(opt.model), dataset_spec(opt.dataset).name,
+                pipeline_mode_name(opt.config.mode), opt.config.p_node,
+                opt.config.p_edge, opt.config.p_apply,
+                opt.config.p_scatter, opt.config.queue_depth);
+
+    SampleStream stream(opt.dataset, opt.graphs);
+    std::size_t count = std::max<std::size_t>(stream.size(), 1);
+    double latency = 0.0, nt_util = 0.0, mp_util = 0.0, imb = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        RunResult r = engine.run(stream.next());
+        latency += r.latency_ms();
+        double nu = 0.0, mu = 0.0;
+        for (const auto &u : r.stats.nt_units)
+            nu += u.utilization();
+        for (const auto &u : r.stats.mp_units)
+            mu += u.utilization();
+        nt_util += nu / r.stats.nt_units.size();
+        mp_util += mu / r.stats.mp_units.size();
+        imb += r.stats.observed_mp_imbalance();
+    }
+    std::printf("\nGraphs streamed:      %zu (batch size 1, zero "
+                "pre-processing)\n",
+                count);
+    std::printf("Avg latency:          %.4f ms\n", latency / count);
+    std::printf("Avg NT utilization:   %.1f%%\n",
+                100.0 * nt_util / count);
+    std::printf("Avg MP utilization:   %.1f%%\n",
+                100.0 * mp_util / count);
+    std::printf("Avg MP imbalance:     %.2f%%\n", 100.0 * imb / count);
+
+    StreamRunner runner(engine);
+    SampleStream stream2(opt.dataset, opt.graphs);
+    StreamRunStats st = runner.run(stream2, count);
+    std::printf("Stream throughput:    %.0f graphs/s (load/compute "
+                "overlap %.2fx)\n",
+                st.graphs_per_second(opt.config.clock_mhz),
+                st.throughput_speedup());
+    return 0;
+}

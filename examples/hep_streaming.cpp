@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Real-time high-energy-physics trigger scenario (paper Sec. I).
+ *
+ * Collision events arrive as kNN particle-cloud graphs that must be
+ * classified one at a time (batch size 1) under a hard latency budget
+ * — overrunning the budget overflows the detector buffers and loses
+ * data. This example streams 500 HEP events through a GIN accelerator,
+ * tracks the latency distribution, and reports how many events met a
+ * 0.2 ms trigger deadline.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+
+using namespace flowgnn;
+
+int
+main()
+{
+    constexpr double kDeadlineMs = 0.2;
+    constexpr std::size_t kEvents = 500;
+
+    GraphSample probe = make_sample(DatasetKind::kHep, 0);
+    Model model =
+        make_model(ModelKind::kGin, probe.node_dim(), probe.edge_dim());
+    Engine engine(model, EngineConfig{});
+
+    std::printf("Streaming %zu HEP events (kNN graphs, k=16) through "
+                "GIN at batch size 1...\n",
+                kEvents);
+
+    SampleStream stream(DatasetKind::kHep, kEvents);
+    std::vector<double> latencies;
+    latencies.reserve(kEvents);
+    std::size_t accepted = 0, met_deadline = 0;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+        RunResult r = engine.run(stream.next());
+        double ms = r.latency_ms();
+        latencies.push_back(ms);
+        if (ms <= kDeadlineMs)
+            ++met_deadline;
+        if (r.prediction > 0.0f)
+            ++accepted; // trigger decision: keep this event
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        return latencies[static_cast<std::size_t>(
+            p * (latencies.size() - 1))];
+    };
+    double mean = 0.0;
+    for (double v : latencies)
+        mean += v;
+    mean /= latencies.size();
+
+    std::printf("\nLatency per event (ms): mean %.4f | p50 %.4f | "
+                "p99 %.4f | max %.4f\n",
+                mean, pct(0.50), pct(0.99), latencies.back());
+    std::printf("Events meeting the %.1f ms trigger deadline: %zu/%zu "
+                "(%.1f%%)\n",
+                kDeadlineMs, met_deadline, kEvents,
+                100.0 * met_deadline / kEvents);
+    std::printf("Events accepted by the trigger: %zu/%zu\n", accepted,
+                kEvents);
+    std::printf("\nNo graph pre-processing was performed: every event "
+                "was consumed in raw COO edge-list order.\n");
+    return met_deadline == kEvents ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Molecular property screening (paper's MolHIV workload).
+ *
+ * Screens a batch of candidate molecules for a binary property with
+ * GIN+VN — the paper's strongest molecular model — and demonstrates
+ * the virtual-node machinery: the VN is added on the fly per graph,
+ * its giant fan-out is absorbed by the dataflow pipeline (paper
+ * Fig. 6), and it is excluded from the readout pooling. Also compares
+ * throughput with and without the virtual node.
+ */
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+
+using namespace flowgnn;
+
+int
+main()
+{
+    constexpr std::size_t kMolecules = 200;
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+
+    Model gin_vn = make_model(ModelKind::kGinVn, probe.node_dim(),
+                              probe.edge_dim());
+    Model gin = make_model(ModelKind::kGin, probe.node_dim(),
+                           probe.edge_dim());
+    Engine screen(gin_vn, EngineConfig{});
+    Engine plain(gin, EngineConfig{});
+
+    std::printf("Screening %zu molecules with GIN+VN (5 layers, "
+                "dim 100, virtual node)...\n\n",
+                kMolecules);
+
+    std::size_t hits = 0;
+    double vn_cycles = 0.0, plain_cycles = 0.0;
+    float best_score = -1e30f;
+    std::size_t best_index = 0;
+
+    SampleStream stream(DatasetKind::kMolHiv, kMolecules);
+    for (std::size_t i = 0; i < kMolecules; ++i) {
+        GraphSample mol = stream.next();
+        RunResult r = screen.run(mol);
+        vn_cycles += static_cast<double>(r.stats.total_cycles);
+        plain_cycles += static_cast<double>(
+            plain.run(mol).stats.total_cycles);
+        if (r.prediction > 0.0f)
+            ++hits;
+        if (r.prediction > best_score) {
+            best_score = r.prediction;
+            best_index = i;
+        }
+    }
+
+    std::printf("Screening hits (score > 0): %zu/%zu\n", hits,
+                kMolecules);
+    std::printf("Top candidate: molecule #%zu (score %.4f)\n",
+                best_index, best_score);
+
+    vn_cycles /= kMolecules;
+    plain_cycles /= kMolecules;
+    std::printf("\nVirtual-node cost check (paper Fig. 6):\n");
+    std::printf("  GIN     avg cycles/molecule: %.0f (%.4f ms)\n",
+                plain_cycles, plain_cycles / 3e5);
+    std::printf("  GIN+VN  avg cycles/molecule: %.0f (%.4f ms)\n",
+                vn_cycles, vn_cycles / 3e5);
+    std::printf("  overhead: %.1f%% — the dataflow pipeline overlaps "
+                "the virtual node's full fan-out\n",
+                100.0 * (vn_cycles / plain_cycles - 1.0));
+    return 0;
+}

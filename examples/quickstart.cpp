@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: run one graph through a FlowGNN accelerator in ~30 lines.
+ *
+ * Builds a small molecular graph, compiles a GIN accelerator with the
+ * paper's default configuration (2 NT / 4 MP units), streams the graph
+ * in raw COO form with zero pre-processing, and prints the prediction,
+ * latency, and unit utilization — then cross-checks the result against
+ * the software reference executor.
+ */
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+#include "tensor/ops.h"
+
+using namespace flowgnn;
+
+int
+main()
+{
+    // A molecule-like graph with node and edge (bond) features,
+    // exactly what would stream in from a detector or data loader.
+    GraphSample sample = make_sample(DatasetKind::kMolHiv, 0);
+    std::printf("Input graph: %u nodes, %zu edges, %zu node features, "
+                "%zu edge features\n",
+                sample.num_nodes(), sample.num_edges(),
+                sample.node_dim(), sample.edge_dim());
+
+    // Compile a GIN accelerator (5 layers, dim 100, edge embeddings).
+    Model model =
+        make_model(ModelKind::kGin, sample.node_dim(), sample.edge_dim());
+    Engine engine(model, EngineConfig{}); // paper defaults
+
+    // Stream the graph through the dataflow engine.
+    RunResult result = engine.run(sample);
+    std::printf("\nPrediction: %.6f\n", result.prediction);
+    std::printf("Latency:    %llu cycles = %.4f ms @ 300 MHz\n",
+                static_cast<unsigned long long>(result.stats.total_cycles),
+                result.latency_ms());
+    for (std::size_t u = 0; u < result.stats.nt_units.size(); ++u)
+        std::printf("NT unit %zu utilization: %.1f%%\n", u,
+                    100.0 * result.stats.nt_units[u].utilization());
+    for (std::size_t m = 0; m < result.stats.mp_units.size(); ++m)
+        std::printf("MP unit %zu utilization: %.1f%% (%llu edge-granules)\n",
+                    m, 100.0 * result.stats.mp_units[m].utilization(),
+                    static_cast<unsigned long long>(
+                        result.stats.mp_edge_work[m]));
+
+    // Functional guarantee: the engine matches the software reference.
+    float reference = model.predict(sample);
+    std::printf("\nReference prediction: %.6f (|diff| = %.2e)\n",
+                reference, std::abs(reference - result.prediction));
+    return std::abs(reference - result.prediction) < 1e-3f ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#include "core/config.h"
+
+namespace flowgnn {
+
+const char *
+pipeline_mode_name(PipelineMode mode)
+{
+    switch (mode) {
+      case PipelineMode::kNonPipelined: return "non-pipeline";
+      case PipelineMode::kFixedPipeline: return "fixed-pipeline";
+      case PipelineMode::kBaselineDataflow: return "baseline-dataflow";
+      case PipelineMode::kFlowGnn: return "flowgnn";
+    }
+    return "unknown";
+}
+
+std::string
+EngineConfig::label() const
+{
+    if (mode != PipelineMode::kFlowGnn)
+        return pipeline_mode_name(mode);
+    return "FlowGNN-" + std::to_string(p_apply) + "-" +
+           std::to_string(p_scatter);
+}
+
+} // namespace flowgnn

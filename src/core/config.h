@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Engine configuration: the paper's four parallelization parameters
+ * (Sec. III-D) plus the pipeline-strategy selector used by the
+ * ablation study (Fig. 4 / Fig. 9).
+ */
+#ifndef FLOWGNN_CORE_CONFIG_H
+#define FLOWGNN_CORE_CONFIG_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/fixed_point.h"
+
+namespace flowgnn {
+
+/** Pipelining strategies of Fig. 4. */
+enum class PipelineMode {
+    kNonPipelined,     ///< Fig. 4(a): NT for all nodes, then MP.
+    kFixedPipeline,    ///< Fig. 4(b): lockstep NT(k+1) || MP(k).
+    kBaselineDataflow, ///< Fig. 4(c): 1 queue, whole-node handoff.
+    kFlowGnn,          ///< Fig. 4(d): multi-unit + intra-node overlap.
+};
+
+/** Human-readable mode name. */
+const char *pipeline_mode_name(PipelineMode mode);
+
+/**
+ * How destination nodes map to MP-unit banks.
+ *
+ * kModulo is FlowGNN's zero-pre-processing default (dst % Pedge).
+ * kGreedyBalanced runs a greedy least-loaded assignment — which needs
+ * a pre-pass over the edge list, i.e. pre-processing — and exists only
+ * as the ablation for the paper's future-work note on imbalance.
+ */
+enum class BankPolicy {
+    kModulo,
+    kGreedyBalanced,
+};
+
+/**
+ * FlowGNN engine configuration.
+ *
+ * Defaults follow the paper: 2 NT units and 4 MP units (Sec. VI-A),
+ * with the best DSE point's dimension parallelism (Fig. 10).
+ */
+struct EngineConfig {
+    std::uint32_t p_node = 2;    ///< NT units (node parallelism)
+    std::uint32_t p_edge = 4;    ///< MP units (edge parallelism)
+    std::uint32_t p_apply = 4;   ///< NT embedding-dim parallelism
+    std::uint32_t p_scatter = 8; ///< MP edge-embedding-dim parallelism
+    PipelineMode mode = PipelineMode::kFlowGnn;
+    BankPolicy bank_policy = BankPolicy::kModulo;
+    std::size_t queue_depth = 8; ///< adapter-to-MP FIFO depth (entries)
+    double clock_mhz = 300.0;    ///< paper's U50 kernel clock
+    /**
+     * Emulate the HLS kernel's fixed-point datapath: node embeddings,
+     * messages, and message-buffer state are quantized to fixed_point
+     * after every operation. Off by default (fp32, matching the
+     * reference executor exactly).
+     */
+    bool emulate_fixed_point = false;
+    FixedPointFormat fixed_point = kFixed16_10;
+    /**
+     * Record per-unit busy intervals into RunStats::trace (queue-based
+     * pipeline modes only). Export with write_chrome_trace().
+     */
+    bool capture_trace = false;
+
+    /** Throws std::invalid_argument on a malformed configuration. */
+    void
+    validate() const
+    {
+        if (p_node == 0 || p_edge == 0 || p_apply == 0 || p_scatter == 0)
+            throw std::invalid_argument(
+                "EngineConfig: parallelism parameters must be >= 1");
+        if (queue_depth == 0)
+            throw std::invalid_argument(
+                "EngineConfig: queue_depth must be >= 1");
+        if (clock_mhz <= 0.0)
+            throw std::invalid_argument(
+                "EngineConfig: clock must be positive");
+        if (emulate_fixed_point && !fixed_point.valid())
+            throw std::invalid_argument(
+                "EngineConfig: invalid fixed-point format");
+    }
+
+    /** "FlowGNN-<Papply>-<Pscatter>" label used by the ablation plots. */
+    std::string label() const;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_CONFIG_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The FlowGNN dataflow engine: a cycle-stepped microarchitecture model
+ * of the accelerator in paper Fig. 3(b) that simultaneously computes
+ * the GNN functionally (for cross-checking against the reference
+ * executor) and counts cycles (for every latency experiment).
+ *
+ * Architecture modeled per pipeline phase:
+ *
+ *   [node queue] -> Pnode x NT unit -> NT-to-MP adapter (on-the-fly
+ *   multicast by destination bank, Papply -> Pscatter re-batching) ->
+ *   Pnode*Pedge bounded FIFOs -> Pedge x MP unit -> banked ping-pong
+ *   message buffers
+ *
+ * Each NT unit ping-pongs accumulate/output so the next node's
+ * accumulation overlaps the current node's streaming; each MP unit
+ * exclusively owns destination bank (dst % Pedge) so units never
+ * conflict, with zero graph pre-processing. The four pipeline modes of
+ * Fig. 4 are selectable for the ablation study.
+ */
+#ifndef FLOWGNN_CORE_ENGINE_H
+#define FLOWGNN_CORE_ENGINE_H
+
+#include "core/config.h"
+#include "core/stats.h"
+#include "graph/sample.h"
+#include "nn/model.h"
+
+namespace flowgnn {
+
+/** Output of one engine run. */
+struct RunResult {
+    /** Final node embeddings [num_nodes x embedding_dim]. */
+    Matrix embeddings;
+    /** Graph-level prediction from the pooled head. */
+    float prediction = 0.0f;
+    /** Timing and utilization statistics. */
+    RunStats stats;
+
+    double
+    latency_ms(double clock_mhz = 300.0) const
+    {
+        return stats.latency_ms(clock_mhz);
+    }
+};
+
+/**
+ * FlowGNN accelerator instance: one compiled model kernel plus the
+ * parallelism configuration. Graphs are streamed in one at a time with
+ * zero pre-processing (run() accepts raw COO samples).
+ */
+class Engine
+{
+  public:
+    /**
+     * @param model  the GNN to accelerate (borrowed; must outlive the
+     *               engine)
+     * @param config parallelism and pipeline-mode settings
+     */
+    Engine(const Model &model, EngineConfig config = {});
+
+    const EngineConfig &config() const { return config_; }
+    const Model &model() const { return model_; }
+
+    /**
+     * Runs one graph end to end: input DMA, all pipeline phases,
+     * global pooling, and the prediction head. The sample is prepared
+     * internally (virtual node / DGN field) exactly as the reference
+     * executor prepares it.
+     */
+    RunResult run(const GraphSample &sample) const;
+
+  private:
+    const Model &model_;
+    EngineConfig config_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_ENGINE_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bounded FIFO with occupancy statistics — the hardware data queue of
+ * the multi-queue dataflow (paper Fig. 3(b)). A full queue exerts
+ * backpressure on the NT-to-MP adapter, which in turn stalls the NT
+ * unit's output stream, exactly as an HLS stream would.
+ */
+#ifndef FLOWGNN_CORE_FIFO_H
+#define FLOWGNN_CORE_FIFO_H
+
+#include <cstdint>
+#include <deque>
+
+namespace flowgnn {
+
+/** Bounded FIFO modeling a hardware stream between pipeline units. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity = 8) : capacity_(capacity) {}
+
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Pushes if space is available; returns false (backpressure) if not. */
+    bool
+    push(const T &item)
+    {
+        if (full())
+            return false;
+        items_.push_back(item);
+        ++total_pushes_;
+        if (items_.size() > peak_occupancy_)
+            peak_occupancy_ = items_.size();
+        return true;
+    }
+
+    /** Pops the oldest item; call only when !empty(). */
+    T
+    pop()
+    {
+        T item = items_.front();
+        items_.pop_front();
+        return item;
+    }
+
+    const T &front() const { return items_.front(); }
+
+    /** Lifetime statistics for queue-sizing studies. */
+    std::uint64_t total_pushes() const { return total_pushes_; }
+    std::size_t peak_occupancy() const { return peak_occupancy_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::uint64_t total_pushes_ = 0;
+    std::size_t peak_occupancy_ = 0;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_FIFO_H

@@ -1,0 +1,22 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace flowgnn {
+
+double
+RunStats::observed_mp_imbalance() const
+{
+    if (mp_edge_work.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (auto w : mp_edge_work)
+        total += w;
+    if (total == 0)
+        return 0.0;
+    auto [mn, mx] = std::minmax_element(mp_edge_work.begin(),
+                                        mp_edge_work.end());
+    return static_cast<double>(*mx - *mn) / static_cast<double>(total);
+}
+
+} // namespace flowgnn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Execution statistics gathered by the engine: cycle counts, per-unit
+ * utilization, queue behaviour, and the observed MP workload split
+ * (the measured counterpart of Table VII's imbalance metric).
+ */
+#ifndef FLOWGNN_CORE_STATS_H
+#define FLOWGNN_CORE_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace flowgnn {
+
+/** Busy/idle cycle counts for one processing unit. */
+struct UnitStats {
+    std::uint64_t busy = 0;
+    std::uint64_t idle = 0;
+
+    double
+    utilization() const
+    {
+        std::uint64_t total = busy + idle;
+        return total == 0 ? 0.0 : static_cast<double>(busy) / total;
+    }
+};
+
+/** Statistics of one engine run (one graph through all layers). */
+struct RunStats {
+    std::uint64_t total_cycles = 0;
+    std::uint64_t load_cycles = 0; ///< input DMA (graph + features)
+    std::uint64_t head_cycles = 0; ///< pooled MLP head
+    std::vector<std::uint64_t> phase_cycles; ///< per pipeline phase
+    std::vector<UnitStats> nt_units;
+    std::vector<UnitStats> mp_units;
+    /** Edge-work items processed per MP unit (workload imbalance). */
+    std::vector<std::uint64_t> mp_edge_work;
+    std::uint64_t adapter_stall_cycles = 0; ///< multicast backpressure
+    std::size_t queue_peak_occupancy = 0;
+    std::uint64_t queue_total_pushes = 0;
+    /** Busy intervals per unit (when EngineConfig::capture_trace). */
+    std::vector<TraceEvent> trace;
+
+    /** Wall latency at the given clock. */
+    double
+    latency_ms(double clock_mhz) const
+    {
+        return static_cast<double>(total_cycles) / (clock_mhz * 1e3);
+    }
+
+    /** Observed MP imbalance: (max-min)/total work, as in Table VII. */
+    double observed_mp_imbalance() const;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_STATS_H

@@ -1,0 +1,43 @@
+#include "core/trace.h"
+
+namespace flowgnn {
+
+const char *
+trace_kind_name(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::kNtAccumulate: return "nt-accumulate";
+      case TraceKind::kNtOutput: return "nt-output";
+      case TraceKind::kMpWork: return "mp-work";
+    }
+    return "unknown";
+}
+
+void
+write_chrome_trace(std::ostream &os,
+                   const std::vector<TraceEvent> &events,
+                   double clock_mhz)
+{
+    const double us_per_cycle = 1.0 / clock_mhz;
+    os << "[\n";
+    bool first = true;
+    for (const auto &e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Thread id: NT units 0..99, MP units offset by 100.
+        int tid = (e.kind == TraceKind::kMpWork)
+            ? 100 + static_cast<int>(e.unit)
+            : static_cast<int>(e.unit);
+        os << "  {\"name\": \"" << trace_kind_name(e.kind) << " n"
+           << e.node << "\", \"cat\": \"" << trace_kind_name(e.kind)
+           << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << tid
+           << ", \"ts\": " << static_cast<double>(e.start) * us_per_cycle
+           << ", \"dur\": "
+           << static_cast<double>(e.end - e.start) * us_per_cycle
+           << "}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace flowgnn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Execution tracing: per-unit busy intervals recorded by the cycle
+ * simulation, exportable as a Chrome trace (chrome://tracing /
+ * Perfetto) for visual inspection of the pipeline overlap the
+ * architecture is built around.
+ */
+#ifndef FLOWGNN_CORE_TRACE_H
+#define FLOWGNN_CORE_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flowgnn {
+
+/** What a processing unit was doing during an interval. */
+enum class TraceKind {
+    kNtAccumulate, ///< NT unit accumulating a node's transform
+    kNtOutput,     ///< NT unit streaming a node's embedding out
+    kMpWork,       ///< MP unit processing one queue entry
+};
+
+/** Short label for a trace kind. */
+const char *trace_kind_name(TraceKind kind);
+
+/** One busy interval of one unit. */
+struct TraceEvent {
+    TraceKind kind;
+    std::uint32_t unit;  ///< NT or MP unit index
+    NodeId node;         ///< the node being processed
+    std::uint64_t start; ///< absolute cycle (inclusive)
+    std::uint64_t end;   ///< absolute cycle (exclusive)
+};
+
+/**
+ * Writes the events as a Chrome trace JSON document. Each NT/MP unit
+ * becomes a thread row; event timestamps are microseconds at the given
+ * kernel clock.
+ */
+void write_chrome_trace(std::ostream &os,
+                        const std::vector<TraceEvent> &events,
+                        double clock_mhz = 300.0);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_TRACE_H

@@ -1,0 +1,170 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace flowgnn {
+
+CooGraph
+make_erdos_renyi(NodeId num_nodes, std::size_t num_edges, Rng &rng)
+{
+    if (num_nodes < 2 && num_edges > 0)
+        throw std::invalid_argument("make_erdos_renyi: too few nodes");
+    std::size_t max_edges =
+        static_cast<std::size_t>(num_nodes) * (num_nodes - 1);
+    if (num_edges > max_edges)
+        throw std::invalid_argument("make_erdos_renyi: too many edges");
+
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    std::set<std::pair<NodeId, NodeId>> seen;
+    while (g.edges.size() < num_edges) {
+        NodeId s = static_cast<NodeId>(rng.uniform_index(num_nodes));
+        NodeId d = static_cast<NodeId>(rng.uniform_index(num_nodes));
+        if (s == d)
+            continue;
+        if (seen.insert({s, d}).second)
+            g.edges.push_back({s, d});
+    }
+    return g;
+}
+
+CooGraph
+make_molecule(NodeId num_nodes, Rng &rng)
+{
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    if (num_nodes <= 1)
+        return g;
+
+    // Chain-biased random spanning tree: attaching to a recent node
+    // with high probability yields the elongated skeletons typical of
+    // molecules.
+    std::vector<std::pair<NodeId, NodeId>> bonds;
+    for (NodeId n = 1; n < num_nodes; ++n) {
+        NodeId parent;
+        if (n == 1 || rng.uniform() < 0.7) {
+            parent = n - 1;
+        } else {
+            parent = static_cast<NodeId>(rng.uniform_index(n));
+        }
+        bonds.push_back({parent, n});
+    }
+
+    // Ring closures: roughly one ring per 6 atoms.
+    std::size_t rings = num_nodes / 6;
+    std::set<std::pair<NodeId, NodeId>> seen(bonds.begin(), bonds.end());
+    for (std::size_t r = 0; r < rings && num_nodes > 4; ++r) {
+        NodeId a = static_cast<NodeId>(rng.uniform_index(num_nodes));
+        NodeId span = 3 + static_cast<NodeId>(rng.uniform_index(3));
+        NodeId b = (a + span) % num_nodes;
+        if (a == b)
+            continue;
+        auto key = std::minmax(a, b);
+        if (seen.insert({key.first, key.second}).second)
+            bonds.push_back({key.first, key.second});
+    }
+
+    // Bonds are undirected: emit both directions, forward block first
+    // so features can be mirrored positionally.
+    for (const auto &[a, b] : bonds)
+        g.edges.push_back({a, b});
+    for (const auto &[a, b] : bonds)
+        g.edges.push_back({b, a});
+    return g;
+}
+
+CooGraph
+make_knn_point_cloud(NodeId num_nodes, std::uint32_t k, Rng &rng)
+{
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    if (num_nodes == 0)
+        return g;
+    k = std::min<std::uint32_t>(k, num_nodes - 1);
+
+    std::vector<std::pair<double, double>> pts(num_nodes);
+    for (auto &p : pts)
+        p = {rng.uniform(), rng.uniform()};
+
+    // Brute-force kNN: the HEP graphs have ~50 nodes so O(n^2) is the
+    // honest implementation, not a shortcut.
+    for (NodeId i = 0; i < num_nodes; ++i) {
+        std::vector<std::pair<double, NodeId>> dist;
+        dist.reserve(num_nodes - 1);
+        for (NodeId j = 0; j < num_nodes; ++j) {
+            if (i == j)
+                continue;
+            double dx = pts[i].first - pts[j].first;
+            double dy = pts[i].second - pts[j].second;
+            dist.push_back({dx * dx + dy * dy, j});
+        }
+        std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+        // EdgeConv: messages flow from each neighbor j into i.
+        for (std::uint32_t t = 0; t < k; ++t)
+            g.edges.push_back({dist[t].second, i});
+    }
+    return g;
+}
+
+CooGraph
+make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng)
+{
+    if (m == 0)
+        throw std::invalid_argument("make_barabasi_albert: m must be > 0");
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    if (num_nodes <= 1)
+        return g;
+
+    // Repeated-endpoint list implements preferential attachment.
+    std::vector<NodeId> endpoint_pool;
+    std::vector<std::pair<NodeId, NodeId>> links;
+
+    NodeId seed = std::min<NodeId>(num_nodes, m + 1);
+    for (NodeId a = 0; a < seed; ++a) {
+        for (NodeId b = a + 1; b < seed; ++b) {
+            links.push_back({a, b});
+            endpoint_pool.push_back(a);
+            endpoint_pool.push_back(b);
+        }
+    }
+
+    for (NodeId n = seed; n < num_nodes; ++n) {
+        std::set<NodeId> targets;
+        while (targets.size() < m) {
+            NodeId t = endpoint_pool[rng.uniform_index(
+                endpoint_pool.size())];
+            if (t != n)
+                targets.insert(t);
+        }
+        for (NodeId t : targets) {
+            links.push_back({n, t});
+            endpoint_pool.push_back(n);
+            endpoint_pool.push_back(t);
+        }
+    }
+
+    for (const auto &[a, b] : links)
+        g.edges.push_back({a, b});
+    for (const auto &[a, b] : links)
+        g.edges.push_back({b, a});
+    return g;
+}
+
+CooGraph
+add_virtual_node(const CooGraph &graph)
+{
+    CooGraph out = graph;
+    NodeId vn = graph.num_nodes;
+    out.num_nodes = graph.num_nodes + 1;
+    for (NodeId n = 0; n < graph.num_nodes; ++n)
+        out.edges.push_back({n, vn});
+    for (NodeId n = 0; n < graph.num_nodes; ++n)
+        out.edges.push_back({vn, n});
+    return out;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Random graph generators for synthetic workloads.
+ *
+ * The paper evaluates on molecular graphs (MolHIV/MolPCBA),
+ * k-nearest-neighbor point clouds built with the EdgeConv method
+ * (HEP top tagging, k=16), and citation/social networks. We provide
+ * generators with matching structural character: chemistry-like
+ * sparse graphs with small bounded degree, kNN graphs over random
+ * point clouds, Erdős–Rényi graphs, and Barabási–Albert power-law
+ * graphs for the citation/social datasets.
+ */
+#ifndef FLOWGNN_GRAPH_GENERATORS_H
+#define FLOWGNN_GRAPH_GENERATORS_H
+
+#include "graph/graph.h"
+#include "tensor/rng.h"
+
+namespace flowgnn {
+
+/** Erdős–Rényi G(n, m): m distinct directed edges, no self-loops. */
+CooGraph make_erdos_renyi(NodeId num_nodes, std::size_t num_edges, Rng &rng);
+
+/**
+ * Molecule-like graph: a random spanning tree plus a few ring-closing
+ * extra edges, symmetric (bond) edges, bounded degree — mimicking the
+ * degree statistics of MolHIV/MolPCBA (avg degree ~2.2 per direction).
+ */
+CooGraph make_molecule(NodeId num_nodes, Rng &rng);
+
+/**
+ * kNN graph over a random 2D point cloud, the EdgeConv construction
+ * used for the HEP dataset: each node draws a directed edge from each
+ * of its k nearest neighbors (edge j->i for j in kNN(i)).
+ */
+CooGraph make_knn_point_cloud(NodeId num_nodes, std::uint32_t k, Rng &rng);
+
+/**
+ * Barabási–Albert preferential attachment with m edges per new node,
+ * symmetrized. Produces the power-law degree distribution typical of
+ * citation and social graphs (Cora/CiteSeer/PubMed/Reddit).
+ */
+CooGraph make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng);
+
+/**
+ * Adds a virtual node connected bidirectionally to every existing
+ * node (paper Sec. IV, "Virtual Node"). The virtual node gets id
+ * num_nodes of the input graph; new edges are appended after existing
+ * ones so original edge features keep their positions.
+ */
+CooGraph add_virtual_node(const CooGraph &graph);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GRAPH_GENERATORS_H

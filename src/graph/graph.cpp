@@ -1,0 +1,96 @@
+#include "graph/graph.h"
+
+#include <stdexcept>
+
+namespace flowgnn {
+
+std::vector<std::uint32_t>
+CooGraph::out_degrees() const
+{
+    std::vector<std::uint32_t> deg(num_nodes, 0);
+    for (const auto &e : edges)
+        ++deg[e.src];
+    return deg;
+}
+
+std::vector<std::uint32_t>
+CooGraph::in_degrees() const
+{
+    std::vector<std::uint32_t> deg(num_nodes, 0);
+    for (const auto &e : edges)
+        ++deg[e.dst];
+    return deg;
+}
+
+bool
+CooGraph::valid() const
+{
+    for (const auto &e : edges)
+        if (e.src >= num_nodes || e.dst >= num_nodes)
+            return false;
+    return true;
+}
+
+CooGraph
+CooGraph::with_reverse_edges() const
+{
+    CooGraph out;
+    out.num_nodes = num_nodes;
+    out.edges.reserve(edges.size() * 2);
+    out.edges = edges;
+    for (const auto &e : edges)
+        out.edges.push_back({e.dst, e.src});
+    return out;
+}
+
+namespace {
+
+void
+check_valid(const CooGraph &coo, const char *what)
+{
+    if (!coo.valid())
+        throw std::invalid_argument(std::string(what) +
+                                    ": edge endpoint out of range");
+}
+
+} // namespace
+
+CsrGraph::CsrGraph(const CooGraph &coo) : num_nodes_(coo.num_nodes)
+{
+    check_valid(coo, "CsrGraph");
+    offsets_.assign(num_nodes_ + 1, 0);
+    for (const auto &e : coo.edges)
+        ++offsets_[e.src + 1];
+    for (NodeId n = 0; n < num_nodes_; ++n)
+        offsets_[n + 1] += offsets_[n];
+    dst_.resize(coo.edges.size());
+    edge_id_.resize(coo.edges.size());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (EdgeId i = 0; i < coo.edges.size(); ++i) {
+        const auto &e = coo.edges[i];
+        std::size_t slot = cursor[e.src]++;
+        dst_[slot] = e.dst;
+        edge_id_[slot] = i;
+    }
+}
+
+CscGraph::CscGraph(const CooGraph &coo) : num_nodes_(coo.num_nodes)
+{
+    check_valid(coo, "CscGraph");
+    offsets_.assign(num_nodes_ + 1, 0);
+    for (const auto &e : coo.edges)
+        ++offsets_[e.dst + 1];
+    for (NodeId n = 0; n < num_nodes_; ++n)
+        offsets_[n + 1] += offsets_[n];
+    src_.resize(coo.edges.size());
+    edge_id_.resize(coo.edges.size());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (EdgeId i = 0; i < coo.edges.size(); ++i) {
+        const auto &e = coo.edges[i];
+        std::size_t slot = cursor[e.dst]++;
+        src_[slot] = e.src;
+        edge_id_[slot] = i;
+    }
+}
+
+} // namespace flowgnn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Graph representations used by FlowGNN.
+ *
+ * Graphs arrive at the accelerator as raw COO edge lists ("streamed in
+ * consecutively ... in raw edge-list format with zero CPU
+ * intervention", paper Sec. VI-A). The engine converts them on the fly
+ * to CSR (for the NT-to-MP / scatter dataflow) or CSC (for the
+ * MP-to-NT / gather dataflow, used by GAT). No pre-processing of any
+ * kind (no reordering, no partition analysis) is performed, matching
+ * the paper's workload-agnostic requirement.
+ */
+#ifndef FLOWGNN_GRAPH_GRAPH_H
+#define FLOWGNN_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace flowgnn {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/** A directed edge from src to dst with an attached attribute index. */
+struct Edge {
+    NodeId src;
+    NodeId dst;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/**
+ * Raw COO (coordinate / edge-list) graph, the streaming wire format.
+ *
+ * Edge i's attributes (if any) live at row i of the sample's
+ * edge-feature matrix, so edge identity is positional.
+ */
+struct CooGraph {
+    NodeId num_nodes = 0;
+    std::vector<Edge> edges;
+
+    std::size_t num_edges() const { return edges.size(); }
+
+    /** Out-degree of every node. */
+    std::vector<std::uint32_t> out_degrees() const;
+
+    /** In-degree of every node. */
+    std::vector<std::uint32_t> in_degrees() const;
+
+    /** True if every endpoint is < num_nodes. */
+    bool valid() const;
+
+    /**
+     * Returns a copy with reverse edges appended (making the edge set
+     * symmetric). Reverse of edge i is edge num_edges()+i, so edge
+     * features can be mirrored positionally.
+     */
+    CooGraph with_reverse_edges() const;
+};
+
+/**
+ * CSR adjacency: for each source node, the list of (dst, edge_id)
+ * pairs. Built on the fly per graph; used by the scatter phase.
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+    explicit CsrGraph(const CooGraph &coo);
+
+    NodeId num_nodes() const { return num_nodes_; }
+    std::size_t num_edges() const { return dst_.size(); }
+
+    /** Begin offset of node n's out-edges. */
+    std::size_t row_begin(NodeId n) const { return offsets_[n]; }
+    /** End offset of node n's out-edges. */
+    std::size_t row_end(NodeId n) const { return offsets_[n + 1]; }
+
+    NodeId dst(std::size_t i) const { return dst_[i]; }
+    /** Original COO edge index of adjacency slot i. */
+    EdgeId edge_id(std::size_t i) const { return edge_id_[i]; }
+
+    std::uint32_t out_degree(NodeId n) const
+    {
+        return static_cast<std::uint32_t>(row_end(n) - row_begin(n));
+    }
+
+  private:
+    NodeId num_nodes_ = 0;
+    std::vector<std::size_t> offsets_; ///< size num_nodes+1
+    std::vector<NodeId> dst_;
+    std::vector<EdgeId> edge_id_;
+};
+
+/**
+ * CSC adjacency: for each destination node, the list of
+ * (src, edge_id) pairs. Used by the gather-first (MP-to-NT) dataflow.
+ */
+class CscGraph
+{
+  public:
+    CscGraph() = default;
+    explicit CscGraph(const CooGraph &coo);
+
+    NodeId num_nodes() const { return num_nodes_; }
+    std::size_t num_edges() const { return src_.size(); }
+
+    std::size_t col_begin(NodeId n) const { return offsets_[n]; }
+    std::size_t col_end(NodeId n) const { return offsets_[n + 1]; }
+
+    NodeId src(std::size_t i) const { return src_[i]; }
+    EdgeId edge_id(std::size_t i) const { return edge_id_[i]; }
+
+    std::uint32_t in_degree(NodeId n) const
+    {
+        return static_cast<std::uint32_t>(col_end(n) - col_begin(n));
+    }
+
+  private:
+    NodeId num_nodes_ = 0;
+    std::vector<std::size_t> offsets_;
+    std::vector<NodeId> src_;
+    std::vector<EdgeId> edge_id_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GRAPH_GRAPH_H

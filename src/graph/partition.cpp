@@ -1,0 +1,88 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowgnn {
+
+std::vector<std::size_t>
+bank_edge_counts(const CooGraph &graph, std::uint32_t p_edge)
+{
+    if (p_edge == 0)
+        throw std::invalid_argument("bank_edge_counts: p_edge must be > 0");
+    std::vector<std::size_t> counts(p_edge, 0);
+    for (const auto &e : graph.edges)
+        ++counts[dest_bank(e.dst, p_edge)];
+    return counts;
+}
+
+double
+workload_imbalance(const std::vector<std::size_t> &counts)
+{
+    if (counts.empty())
+        throw std::invalid_argument("workload_imbalance: no banks");
+    std::size_t total = 0;
+    for (auto c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+    return static_cast<double>(*mx - *mn) / static_cast<double>(total);
+}
+
+double
+workload_imbalance(const CooGraph &graph, std::uint32_t p_edge)
+{
+    return workload_imbalance(bank_edge_counts(graph, p_edge));
+}
+
+std::vector<std::uint32_t>
+balanced_bank_assignment(const CooGraph &graph, std::uint32_t p_edge)
+{
+    if (p_edge == 0)
+        throw std::invalid_argument(
+            "balanced_bank_assignment: p_edge must be > 0");
+    auto in_deg = graph.in_degrees();
+    std::vector<NodeId> order(graph.num_nodes);
+    for (NodeId n = 0; n < graph.num_nodes; ++n)
+        order[n] = n;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) {
+                         return in_deg[a] > in_deg[b];
+                     });
+
+    std::vector<std::uint32_t> assignment(graph.num_nodes, 0);
+    std::vector<std::size_t> load(p_edge, 0);
+    for (NodeId n : order) {
+        std::uint32_t lightest = 0;
+        for (std::uint32_t b = 1; b < p_edge; ++b)
+            if (load[b] < load[lightest])
+                lightest = b;
+        assignment[n] = lightest;
+        load[lightest] += in_deg[n];
+    }
+    return assignment;
+}
+
+std::vector<std::size_t>
+bank_edge_counts(const CooGraph &graph,
+                 const std::vector<std::uint32_t> &assignment,
+                 std::uint32_t p_edge)
+{
+    if (p_edge == 0)
+        throw std::invalid_argument("bank_edge_counts: p_edge must be > 0");
+    if (assignment.size() != graph.num_nodes)
+        throw std::invalid_argument(
+            "bank_edge_counts: assignment size mismatch");
+    std::vector<std::size_t> counts(p_edge, 0);
+    for (const auto &e : graph.edges) {
+        std::uint32_t b = assignment[e.dst];
+        if (b >= p_edge)
+            throw std::invalid_argument(
+                "bank_edge_counts: bank id out of range");
+        ++counts[b];
+    }
+    return counts;
+}
+
+} // namespace flowgnn

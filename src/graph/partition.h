@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Destination-bank assignment and workload-imbalance analysis.
+ *
+ * FlowGNN assigns each edge to the MP unit that owns the edge's
+ * destination node (dest_id % Pedge). Because this is a fixed modular
+ * hash requiring zero pre-processing, workloads can be imbalanced;
+ * Table VII of the paper quantifies this. This module implements the
+ * assignment and the paper's imbalance metric.
+ */
+#ifndef FLOWGNN_GRAPH_PARTITION_H
+#define FLOWGNN_GRAPH_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flowgnn {
+
+/** MP unit (bank) owning a destination node, given Pedge units. */
+inline std::uint32_t
+dest_bank(NodeId dst, std::uint32_t p_edge)
+{
+    return dst % p_edge;
+}
+
+/** Number of edges assigned to each of p_edge MP units. */
+std::vector<std::size_t> bank_edge_counts(const CooGraph &graph,
+                                          std::uint32_t p_edge);
+
+/**
+ * Paper Table VII imbalance metric: the largest difference in edge
+ * workload between any two MP units, as a fraction of the total
+ * workload (0 = perfectly balanced, 1 = one unit does everything).
+ */
+double workload_imbalance(const CooGraph &graph, std::uint32_t p_edge);
+
+/** Same metric computed from precomputed per-bank counts. */
+double workload_imbalance(const std::vector<std::size_t> &counts);
+
+/**
+ * Greedy least-loaded destination-bank assignment: nodes are visited
+ * in decreasing in-degree order and each is placed on the currently
+ * lightest bank.
+ *
+ * This requires a pre-pass over the edge list — exactly the kind of
+ * pre-processing FlowGNN's modular hash avoids — and exists as the
+ * ablation for the paper's stated future work on workload imbalance
+ * (Sec. VI-E: "we will consider improvements in future work").
+ *
+ * @return bank id per node, each in [0, p_edge)
+ */
+std::vector<std::uint32_t>
+balanced_bank_assignment(const CooGraph &graph, std::uint32_t p_edge);
+
+/** Per-bank edge counts under an explicit node->bank assignment. */
+std::vector<std::size_t>
+bank_edge_counts(const CooGraph &graph,
+                 const std::vector<std::uint32_t> &assignment,
+                 std::uint32_t p_edge);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GRAPH_PARTITION_H

@@ -1,0 +1,96 @@
+#include "graph/sample.h"
+
+#include "graph/generators.h"
+
+namespace flowgnn {
+
+bool
+GraphSample::consistent() const
+{
+    if (!graph.valid())
+        return false;
+    if (node_features.rows() != graph.num_nodes)
+        return false;
+    if (edge_features.rows() != 0 &&
+        edge_features.rows() != graph.num_edges())
+        return false;
+    if (!dgn_field.empty() && dgn_field.size() != graph.num_nodes)
+        return false;
+    if (num_pool_nodes > graph.num_nodes)
+        return false;
+    return true;
+}
+
+GraphSample
+with_virtual_nodes(const GraphSample &sample, std::uint32_t count)
+{
+    GraphSample out = sample;
+    if (out.num_pool_nodes == 0)
+        out.num_pool_nodes = sample.pool_nodes();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        GraphSample next = with_virtual_node(out);
+        // Disconnect the new VN from previously added VNs: keep only
+        // edges touching original nodes. with_virtual_node connected
+        // it to everything, including earlier virtual nodes.
+        NodeId vn = next.graph.num_nodes - 1;
+        NodeId originals = out.num_pool_nodes;
+        CooGraph pruned;
+        pruned.num_nodes = next.graph.num_nodes;
+        Matrix pruned_ef(0, 0);
+        std::vector<std::size_t> kept;
+        for (std::size_t e = 0; e < next.graph.num_edges(); ++e) {
+            const Edge &edge = next.graph.edges[e];
+            bool touches_vn = (edge.src == vn || edge.dst == vn);
+            bool other_is_virtual =
+                (edge.src >= originals && edge.src != vn) ||
+                (edge.dst >= originals && edge.dst != vn);
+            if (touches_vn && other_is_virtual)
+                continue;
+            pruned.edges.push_back(edge);
+            kept.push_back(e);
+        }
+        if (next.edge_features.cols() > 0) {
+            pruned_ef = Matrix(pruned.edges.size(),
+                               next.edge_features.cols());
+            for (std::size_t k = 0; k < kept.size(); ++k)
+                for (std::size_t col = 0;
+                     col < next.edge_features.cols(); ++col)
+                    pruned_ef(k, col) = next.edge_features(kept[k], col);
+        }
+        next.graph = std::move(pruned);
+        next.edge_features = std::move(pruned_ef);
+        out = std::move(next);
+    }
+    return out;
+}
+
+GraphSample
+with_virtual_node(const GraphSample &sample)
+{
+    GraphSample out;
+    out.graph = add_virtual_node(sample.graph);
+    out.num_pool_nodes = sample.pool_nodes();
+    out.label = sample.label;
+
+    out.node_features = Matrix(out.graph.num_nodes,
+                               sample.node_features.cols());
+    for (NodeId n = 0; n < sample.graph.num_nodes; ++n)
+        for (std::size_t c = 0; c < sample.node_features.cols(); ++c)
+            out.node_features(n, c) = sample.node_features(n, c);
+
+    if (sample.edge_features.cols() > 0) {
+        out.edge_features = Matrix(out.graph.num_edges(),
+                                   sample.edge_features.cols());
+        for (std::size_t e = 0; e < sample.graph.num_edges(); ++e)
+            for (std::size_t c = 0; c < sample.edge_features.cols(); ++c)
+                out.edge_features(e, c) = sample.edge_features(e, c);
+    }
+
+    if (!sample.dgn_field.empty()) {
+        out.dgn_field = sample.dgn_field;
+        out.dgn_field.push_back(0.0f);
+    }
+    return out;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GraphSample: a graph together with its node/edge features — the unit
+ * of work streamed into the accelerator at batch size 1.
+ */
+#ifndef FLOWGNN_GRAPH_SAMPLE_H
+#define FLOWGNN_GRAPH_SAMPLE_H
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace flowgnn {
+
+/**
+ * One inference work item: the raw COO graph plus dense node features
+ * [num_nodes x node_dim], optional edge features [num_edges x
+ * edge_dim], an optional per-node scalar field (Laplacian eigenvector
+ * values consumed by DGN), and bookkeeping for virtual-node handling.
+ */
+struct GraphSample {
+    CooGraph graph;
+    Matrix node_features; ///< [graph.num_nodes x F]
+    Matrix edge_features; ///< [graph.num_edges x De]; 0 cols if none.
+    /**
+     * Number of "real" nodes for pooling. Virtual nodes appended by
+     * add_virtual_node are excluded from global pooling, matching the
+     * OGB convention. Defaults to all nodes.
+     */
+    NodeId num_pool_nodes = 0;
+    /** Per-node scalar field u (Laplacian eigenvector) for DGN. */
+    Vec dgn_field;
+    /** Synthetic regression target used by examples. */
+    float label = 0.0f;
+
+    NodeId num_nodes() const { return graph.num_nodes; }
+    std::size_t num_edges() const { return graph.num_edges(); }
+    std::size_t node_dim() const { return node_features.cols(); }
+    std::size_t edge_dim() const { return edge_features.cols(); }
+
+    NodeId
+    pool_nodes() const
+    {
+        return num_pool_nodes == 0 ? graph.num_nodes : num_pool_nodes;
+    }
+
+    /** Structural sanity checks (feature rows match graph sizes). */
+    bool consistent() const;
+};
+
+/**
+ * Returns a copy of the sample with a virtual node appended: the VN is
+ * connected bidirectionally to every node, gets a zero feature row and
+ * zero features on its edges, and is excluded from pooling.
+ */
+GraphSample with_virtual_node(const GraphSample &sample);
+
+/**
+ * Appends `count` virtual nodes, each fully connected to every
+ * original node (paper Sec. IV notes some models use multiple virtual
+ * nodes, escalating the imbalance the dataflow must absorb). Virtual
+ * nodes are not connected to each other and are excluded from pooling.
+ */
+GraphSample with_virtual_nodes(const GraphSample &sample,
+                               std::uint32_t count);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GRAPH_SAMPLE_H

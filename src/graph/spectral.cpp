@@ -1,0 +1,86 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowgnn {
+
+Vec
+fiedler_vector(const CooGraph &graph, Rng &rng, std::uint32_t iterations)
+{
+    NodeId n = graph.num_nodes;
+    Vec u(n, 0.0f);
+    if (n == 0)
+        return u;
+    if (n == 1) {
+        return u;
+    }
+
+    // Undirected degree (count each stored direction once per endpoint).
+    std::vector<double> deg(n, 0.0);
+    for (const auto &e : graph.edges) {
+        deg[e.src] += 0.5;
+        deg[e.dst] += 0.5;
+    }
+    double d_max = *std::max_element(deg.begin(), deg.end());
+    double shift = 2.0 * d_max + 1.0;
+
+    std::vector<double> x(n), y(n);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+
+    auto deflate = [&](std::vector<double> &v) {
+        // Remove the constant (trivial eigenvalue 0) component.
+        double mean = 0.0;
+        for (double w : v)
+            mean += w;
+        mean /= n;
+        for (double &w : v)
+            w -= mean;
+    };
+
+    auto normalize = [&](std::vector<double> &v) {
+        double norm = 0.0;
+        for (double w : v)
+            norm += w * w;
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            return false;
+        for (double &w : v)
+            w /= norm;
+        return true;
+    };
+
+    deflate(x);
+    if (!normalize(x)) {
+        // Degenerate start; fall back to an alternating vector.
+        for (NodeId i = 0; i < n; ++i)
+            x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+        deflate(x);
+        normalize(x);
+    }
+
+    // Power iteration on M = shift*I - L; the dominant eigenvector of M
+    // restricted to the non-constant subspace is the Fiedler vector.
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+        // y = (shift - deg) .* x  (diagonal part of shift*I - L)
+        for (NodeId i = 0; i < n; ++i)
+            y[i] = (shift - deg[i]) * x[i];
+        // Off-diagonal: +A x, each stored direction contributes half to
+        // both endpoints so symmetric edge lists are not double counted.
+        for (const auto &e : graph.edges) {
+            y[e.dst] += 0.5 * x[e.src];
+            y[e.src] += 0.5 * x[e.dst];
+        }
+        deflate(y);
+        if (!normalize(y))
+            break;
+        std::swap(x, y);
+    }
+
+    for (NodeId i = 0; i < n; ++i)
+        u[i] = static_cast<float>(x[i]);
+    return u;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Spectral utilities: approximate Fiedler vector of the graph
+ * Laplacian, used as the directional field for DGN layers.
+ *
+ * The DGN paper takes the first non-trivial eigenvector of the graph
+ * Laplacian as the directional flow. We compute it with deflated power
+ * iteration on (2*d_max*I - L), which is exact in the limit and more
+ * than adequate as a flow field for the architecture evaluation.
+ */
+#ifndef FLOWGNN_GRAPH_SPECTRAL_H
+#define FLOWGNN_GRAPH_SPECTRAL_H
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace flowgnn {
+
+/**
+ * Approximate Fiedler (second-smallest Laplacian eigenvalue)
+ * eigenvector, treating the graph as undirected. Returns a unit-norm
+ * vector orthogonal to the constant vector.
+ *
+ * @param graph        input graph (edge directions ignored)
+ * @param rng          source of the random starting vector
+ * @param iterations   power-iteration steps (default converges well
+ *                     for the graph sizes used in the paper)
+ */
+Vec fiedler_vector(const CooGraph &graph, Rng &rng,
+                   std::uint32_t iterations = 50);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GRAPH_SPECTRAL_H

@@ -1,0 +1,212 @@
+#include "nn/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flowgnn {
+
+namespace {
+
+constexpr float kStdEps = 1e-5f;
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+constexpr float kPosInf = std::numeric_limits<float>::infinity();
+
+} // namespace
+
+const char *
+aggregator_name(AggregatorKind kind)
+{
+    switch (kind) {
+      case AggregatorKind::kSum: return "sum";
+      case AggregatorKind::kMean: return "mean";
+      case AggregatorKind::kMax: return "max";
+      case AggregatorKind::kMin: return "min";
+      case AggregatorKind::kPna: return "pna";
+      case AggregatorKind::kDgn: return "dgn";
+    }
+    return "unknown";
+}
+
+Aggregator::Aggregator(AggregatorKind kind, std::size_t msg_dim)
+    : kind_(kind), msg_dim_(msg_dim)
+{
+    if (kind == AggregatorKind::kDgn && msg_dim % 2 != 0)
+        throw std::invalid_argument("Aggregator: DGN msg_dim must be even");
+}
+
+std::size_t
+Aggregator::state_dim() const
+{
+    switch (kind_) {
+      case AggregatorKind::kSum:
+        return msg_dim_;
+      case AggregatorKind::kMean:
+      case AggregatorKind::kMax:
+      case AggregatorKind::kMin:
+      case AggregatorKind::kDgn:
+        return 1 + msg_dim_; // count + payload
+      case AggregatorKind::kPna:
+        return 1 + 4 * msg_dim_; // count + sum + sumsq + max + min
+    }
+    return msg_dim_;
+}
+
+std::size_t
+Aggregator::out_dim() const
+{
+    switch (kind_) {
+      case AggregatorKind::kPna:
+        // 4 aggregators (mean, std, max, min) x 3 scalers.
+        return 12 * msg_dim_;
+      default:
+        return msg_dim_;
+    }
+}
+
+void
+Aggregator::init(float *state) const
+{
+    switch (kind_) {
+      case AggregatorKind::kSum:
+        std::fill(state, state + msg_dim_, 0.0f);
+        break;
+      case AggregatorKind::kMean:
+      case AggregatorKind::kDgn:
+        std::fill(state, state + 1 + msg_dim_, 0.0f);
+        break;
+      case AggregatorKind::kMax:
+        state[0] = 0.0f;
+        std::fill(state + 1, state + 1 + msg_dim_, kNegInf);
+        break;
+      case AggregatorKind::kMin:
+        state[0] = 0.0f;
+        std::fill(state + 1, state + 1 + msg_dim_, kPosInf);
+        break;
+      case AggregatorKind::kPna: {
+        state[0] = 0.0f;
+        float *sum = state + 1;
+        float *sumsq = sum + msg_dim_;
+        float *mx = sumsq + msg_dim_;
+        float *mn = mx + msg_dim_;
+        std::fill(sum, sum + msg_dim_, 0.0f);
+        std::fill(sumsq, sumsq + msg_dim_, 0.0f);
+        std::fill(mx, mx + msg_dim_, kNegInf);
+        std::fill(mn, mn + msg_dim_, kPosInf);
+        break;
+      }
+    }
+}
+
+void
+Aggregator::accumulate(float *state, const float *msg) const
+{
+    switch (kind_) {
+      case AggregatorKind::kSum:
+        for (std::size_t i = 0; i < msg_dim_; ++i)
+            state[i] += msg[i];
+        break;
+      case AggregatorKind::kMean:
+      case AggregatorKind::kDgn:
+        state[0] += 1.0f;
+        for (std::size_t i = 0; i < msg_dim_; ++i)
+            state[1 + i] += msg[i];
+        break;
+      case AggregatorKind::kMax:
+        state[0] += 1.0f;
+        for (std::size_t i = 0; i < msg_dim_; ++i)
+            state[1 + i] = std::max(state[1 + i], msg[i]);
+        break;
+      case AggregatorKind::kMin:
+        state[0] += 1.0f;
+        for (std::size_t i = 0; i < msg_dim_; ++i)
+            state[1 + i] = std::min(state[1 + i], msg[i]);
+        break;
+      case AggregatorKind::kPna: {
+        state[0] += 1.0f;
+        float *sum = state + 1;
+        float *sumsq = sum + msg_dim_;
+        float *mx = sumsq + msg_dim_;
+        float *mn = mx + msg_dim_;
+        for (std::size_t i = 0; i < msg_dim_; ++i) {
+            sum[i] += msg[i];
+            sumsq[i] += msg[i] * msg[i];
+            mx[i] = std::max(mx[i], msg[i]);
+            mn[i] = std::min(mn[i], msg[i]);
+        }
+        break;
+      }
+    }
+}
+
+Vec
+Aggregator::finalize(const float *state, std::uint32_t degree,
+                     const PnaParams &params) const
+{
+    switch (kind_) {
+      case AggregatorKind::kSum:
+        return Vec(state, state + msg_dim_);
+      case AggregatorKind::kMean: {
+        float count = std::max(state[0], 1.0f);
+        Vec out(msg_dim_);
+        for (std::size_t i = 0; i < msg_dim_; ++i)
+            out[i] = state[1 + i] / count;
+        return out;
+      }
+      case AggregatorKind::kMax:
+      case AggregatorKind::kMin: {
+        Vec out(msg_dim_, 0.0f);
+        if (state[0] > 0.0f)
+            for (std::size_t i = 0; i < msg_dim_; ++i)
+                out[i] = state[1 + i];
+        return out;
+      }
+      case AggregatorKind::kDgn: {
+        // First half: mean aggregator. Second half: |directional sum|.
+        float count = std::max(state[0], 1.0f);
+        std::size_t half = msg_dim_ / 2;
+        Vec out(msg_dim_);
+        for (std::size_t i = 0; i < half; ++i)
+            out[i] = state[1 + i] / count;
+        for (std::size_t i = half; i < msg_dim_; ++i)
+            out[i] = std::abs(state[1 + i]);
+        return out;
+      }
+      case AggregatorKind::kPna: {
+        float count = state[0];
+        Vec mean(msg_dim_, 0.0f), stdv(msg_dim_, 0.0f);
+        Vec mx(msg_dim_, 0.0f), mn(msg_dim_, 0.0f);
+        if (count > 0.0f) {
+            const float *sum = state + 1;
+            const float *sumsq = sum + msg_dim_;
+            const float *smax = sumsq + msg_dim_;
+            const float *smin = smax + msg_dim_;
+            for (std::size_t i = 0; i < msg_dim_; ++i) {
+                mean[i] = sum[i] / count;
+                float var = sumsq[i] / count - mean[i] * mean[i];
+                stdv[i] = std::sqrt(std::max(var, 0.0f) + kStdEps);
+                mx[i] = smax[i];
+                mn[i] = smin[i];
+            }
+        }
+        // Scalers: identity, amplification, attenuation (paper Eq. 3).
+        float logd = std::log(static_cast<float>(degree) + 1.0f);
+        float amp = logd / params.delta;
+        float att = logd > 0.0f ? params.delta / logd : 1.0f;
+
+        Vec out;
+        out.reserve(out_dim());
+        const float scalers[3] = {1.0f, amp, att};
+        const Vec *aggs[4] = {&mean, &stdv, &mx, &mn};
+        for (float s : scalers)
+            for (const Vec *a : aggs)
+                for (std::size_t i = 0; i < msg_dim_; ++i)
+                    out.push_back(s * (*a)[i]);
+        return out;
+      }
+    }
+    return Vec(msg_dim_, 0.0f);
+}
+
+} // namespace flowgnn

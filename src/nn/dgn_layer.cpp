@@ -1,0 +1,61 @@
+#include "nn/dgn_layer.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace flowgnn {
+
+DgnLayer::DgnLayer(std::size_t dim, std::size_t edge_dim, Activation act,
+                   Rng &rng)
+    : dim_(dim), edge_dim_(edge_dim), mix_(3 * dim, dim), act_(act)
+{
+    if (edge_dim_ > 0) {
+        edge_enc_ = Linear(edge_dim_, dim);
+        edge_enc_.init_glorot(rng);
+    }
+    mix_.init_glorot(rng);
+}
+
+Vec
+DgnLayer::message(const Vec &x_src, const float *edge_feat,
+                  std::size_t edge_dim, NodeId src, NodeId dst,
+                  const LayerContext &ctx) const
+{
+    const auto &sample = *ctx.sample;
+    if (sample.dgn_field.empty())
+        throw std::invalid_argument("DgnLayer: sample has no dgn_field");
+
+    Vec m = x_src;
+    if (edge_dim_ > 0 && edge_feat != nullptr && edge_dim == edge_dim_) {
+        Vec e(edge_feat, edge_feat + edge_dim);
+        add_inplace(m, edge_enc_.forward(e));
+    }
+
+    // Directional weight from the vector field, normalized at the
+    // destination (anisotropic: depends on both endpoints).
+    float w = (sample.dgn_field[src] - sample.dgn_field[dst]) /
+              ctx.dgn_norm[dst];
+
+    Vec msg;
+    msg.reserve(2 * dim_);
+    msg.insert(msg.end(), m.begin(), m.end());
+    for (float v : m)
+        msg.push_back(w * v);
+    return msg;
+}
+
+Vec
+DgnLayer::transform(const Vec &x_self, const Vec &agg, NodeId,
+                    const LayerContext &) const
+{
+    Vec combined;
+    combined.reserve(3 * dim_);
+    combined.insert(combined.end(), x_self.begin(), x_self.end());
+    combined.insert(combined.end(), agg.begin(), agg.end());
+    Vec out = mix_.forward(combined);
+    apply_activation(out, act_);
+    return out;
+}
+
+} // namespace flowgnn

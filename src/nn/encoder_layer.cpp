@@ -1,0 +1,18 @@
+#include "nn/encoder_layer.h"
+
+namespace flowgnn {
+
+EncoderLayer::EncoderLayer(std::size_t in_dim, std::size_t out_dim, Rng &rng)
+    : linear_(in_dim, out_dim)
+{
+    linear_.init_glorot(rng);
+}
+
+Vec
+EncoderLayer::transform(const Vec &x_self, const Vec &, NodeId,
+                        const LayerContext &) const
+{
+    return linear_.forward(x_self);
+}
+
+} // namespace flowgnn

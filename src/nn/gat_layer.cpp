@@ -1,0 +1,113 @@
+#include "nn/gat_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flowgnn {
+
+GatLayer::GatLayer(std::size_t in_dim, std::size_t num_heads,
+                   std::size_t head_dim, Activation act, Rng &rng)
+    : heads_(num_heads), head_dim_(head_dim),
+      proj_(in_dim, num_heads * head_dim), att_src_(num_heads, head_dim),
+      att_dst_(num_heads, head_dim), act_(act)
+{
+    proj_.init_glorot(rng);
+    double limit = std::sqrt(6.0 / static_cast<double>(head_dim + 1));
+    for (std::size_t h = 0; h < heads_; ++h) {
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+            att_src_(h, d) = static_cast<float>(rng.uniform(-limit, limit));
+            att_dst_(h, d) = static_cast<float>(rng.uniform(-limit, limit));
+        }
+    }
+}
+
+Vec
+GatLayer::src_scores(const Vec &h) const
+{
+    Vec out(heads_, 0.0f);
+    for (std::size_t hd = 0; hd < heads_; ++hd) {
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < head_dim_; ++d)
+            acc += att_src_(hd, d) * h[hd * head_dim_ + d];
+        out[hd] = acc;
+    }
+    return out;
+}
+
+Vec
+GatLayer::dst_scores(const Vec &h) const
+{
+    Vec out(heads_, 0.0f);
+    for (std::size_t hd = 0; hd < heads_; ++hd) {
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < head_dim_; ++d)
+            acc += att_dst_(hd, d) * h[hd * head_dim_ + d];
+        out[hd] = acc;
+    }
+    return out;
+}
+
+Vec
+GatLayer::edge_scores(const Vec &h_src, const Vec &h_dst) const
+{
+    Vec s = src_scores(h_src);
+    Vec d = dst_scores(h_dst);
+    Vec out(heads_);
+    for (std::size_t h = 0; h < heads_; ++h)
+        out[h] = activate(s[h] + d[h], Activation::kLeakyRelu);
+    return out;
+}
+
+Vec
+GatLayer::transform(const Vec &x_self, const Vec &, NodeId,
+                    const LayerContext &) const
+{
+    Vec h = project(x_self);
+    return gat_combine(*this, h, {});
+}
+
+Vec
+gat_combine(const GatLayer &layer, const Vec &h_dst,
+            const std::vector<const Vec *> &h_srcs)
+{
+    const std::size_t heads = layer.num_heads();
+    const std::size_t hd = layer.head_dim();
+
+    // Pass 1: per-head running max over {self} u in-neighbors.
+    Vec self_score = layer.edge_scores(h_dst, h_dst);
+    Vec max_score = self_score;
+    std::vector<Vec> scores;
+    scores.reserve(h_srcs.size());
+    for (const Vec *h_src : h_srcs) {
+        scores.push_back(layer.edge_scores(*h_src, h_dst));
+        for (std::size_t h = 0; h < heads; ++h)
+            max_score[h] = std::max(max_score[h], scores.back()[h]);
+    }
+
+    // Pass 2: exp-weighted sum in arrival order, self term first.
+    Vec acc(heads * hd, 0.0f);
+    Vec denom(heads, 0.0f);
+    for (std::size_t h = 0; h < heads; ++h) {
+        float w = std::exp(self_score[h] - max_score[h]);
+        denom[h] = w;
+        for (std::size_t d = 0; d < hd; ++d)
+            acc[h * hd + d] = w * h_dst[h * hd + d];
+    }
+    for (std::size_t j = 0; j < h_srcs.size(); ++j) {
+        for (std::size_t h = 0; h < heads; ++h) {
+            float w = std::exp(scores[j][h] - max_score[h]);
+            denom[h] += w;
+            for (std::size_t d = 0; d < hd; ++d)
+                acc[h * hd + d] += w * (*h_srcs[j])[h * hd + d];
+        }
+    }
+
+    Vec out(heads * hd);
+    for (std::size_t h = 0; h < heads; ++h)
+        for (std::size_t d = 0; d < hd; ++d)
+            out[h * hd + d] = acc[h * hd + d] / denom[h];
+    apply_activation(out, layer.activation());
+    return out;
+}
+
+} // namespace flowgnn

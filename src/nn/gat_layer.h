@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Graph Attention Network layer: multi-head self-attention over the
+ * in-neighborhood (self-loop included).
+ *
+ *   h_j      = W x_j                       (projection, per head)
+ *   s_ij     = LeakyReLU(a_src . h_j + a_dst . h_i)
+ *   alpha_ij = softmax_j(s_ij)             (normalized over N(i) u {i})
+ *   x_i'     = act( concat_heads( sum_j alpha_ij h_j ) )
+ *
+ * GAT is the paper's representative anisotropic model: the attention
+ * coefficient depends on all of a node's neighbors, so it cannot be
+ * expressed as matrix multiplication and favors the gather-first
+ * (MP-to-NT) dataflow. The softmax uses the numerically stable
+ * two-pass form (max, then exp-sum), identically in the reference
+ * executor and the dataflow engine.
+ */
+#ifndef FLOWGNN_NN_GAT_LAYER_H
+#define FLOWGNN_NN_GAT_LAYER_H
+
+#include "nn/layer.h"
+#include "tensor/activations.h"
+#include "tensor/linear.h"
+
+namespace flowgnn {
+
+/** Multi-head graph attention convolution. */
+class GatLayer : public Layer
+{
+  public:
+    GatLayer(std::size_t in_dim, std::size_t num_heads,
+             std::size_t head_dim, Activation act, Rng &rng);
+
+    const char *name() const override { return "gat"; }
+    DataflowKind dataflow() const override { return DataflowKind::kMpToNt; }
+    std::size_t in_dim() const override { return proj_.in_dim(); }
+    std::size_t out_dim() const override { return heads_ * head_dim_; }
+    std::size_t msg_dim() const override { return out_dim(); }
+
+    std::size_t num_heads() const { return heads_; }
+    std::size_t head_dim() const { return head_dim_; }
+
+    /** Projection h = W x (all heads concatenated). */
+    Vec project(const Vec &x) const { return proj_.forward(x); }
+
+    /** a_src . h_j per head: the source half of the attention logit. */
+    Vec src_scores(const Vec &h) const;
+
+    /** a_dst . h_i per head: the destination half of the logit. */
+    Vec dst_scores(const Vec &h) const;
+
+    /** Full attention logit per head: LeakyReLU(src + dst). */
+    Vec edge_scores(const Vec &h_src, const Vec &h_dst) const;
+
+    /** Output activation (ELU except on the last layer). */
+    Activation activation() const { return act_; }
+
+    /**
+     * Not used directly — GAT layers run through the attention path of
+     * the executor/engine. Kept to satisfy the interface; computes the
+     * full layer for a degenerate single-node neighborhood.
+     */
+    Vec transform(const Vec &x_self, const Vec &agg, NodeId node,
+                  const LayerContext &ctx) const override;
+
+    std::vector<std::size_t> nt_pass_dims() const override
+    {
+        return {proj_.in_dim()};
+    }
+
+    std::size_t mp_rounds() const override { return 2; }
+
+    std::size_t transform_macs() const override
+    {
+        // Projection plus the per-node half of the attention logits.
+        return proj_.macs() + 2 * heads_ * head_dim_;
+    }
+
+    std::size_t message_macs() const override
+    {
+        // Score combine + exp-weighted accumulation per edge.
+        return 2 * heads_ * head_dim_;
+    }
+
+  private:
+    std::size_t heads_;
+    std::size_t head_dim_;
+    Linear proj_; ///< [in_dim -> heads*head_dim]
+    Matrix att_src_; ///< [heads x head_dim]
+    Matrix att_dst_; ///< [heads x head_dim]
+    Activation act_;
+};
+
+/**
+ * Runs the full two-pass attention for one destination node given its
+ * in-neighbor projections. Shared by the reference executor and the
+ * dataflow engine so arithmetic is identical.
+ *
+ * @param layer     the GAT layer
+ * @param h_dst     destination node's projection
+ * @param h_srcs    in-neighbor projections in arrival order
+ * @return the activated output embedding
+ */
+Vec gat_combine(const GatLayer &layer, const Vec &h_dst,
+                const std::vector<const Vec *> &h_srcs);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_NN_GAT_LAYER_H

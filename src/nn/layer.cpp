@@ -1,0 +1,35 @@
+#include "nn/layer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowgnn {
+
+LayerContext
+make_layer_context(const GraphSample &sample, const PnaParams &pna)
+{
+    LayerContext ctx;
+    ctx.sample = &sample;
+    ctx.in_deg = sample.graph.in_degrees();
+    ctx.out_deg = sample.graph.out_degrees();
+    ctx.pna = pna;
+
+    if (!sample.dgn_field.empty()) {
+        ctx.dgn_norm.assign(sample.num_nodes(), 1e-6f);
+        for (const auto &e : sample.graph.edges) {
+            float du = sample.dgn_field[e.src] - sample.dgn_field[e.dst];
+            ctx.dgn_norm[e.dst] += std::abs(du);
+        }
+    }
+    return ctx;
+}
+
+Vec
+Layer::message(const Vec &, const float *, std::size_t, NodeId, NodeId,
+               const LayerContext &) const
+{
+    throw std::logic_error(std::string(name()) +
+                           ": layer has no message function");
+}
+
+} // namespace flowgnn

@@ -1,0 +1,45 @@
+#include "nn/pna_layer.h"
+
+#include "tensor/ops.h"
+
+namespace flowgnn {
+
+PnaLayer::PnaLayer(std::size_t dim, std::size_t edge_dim, Activation act,
+                   Rng &rng)
+    : dim_(dim), edge_dim_(edge_dim), mix_(13 * dim, dim), act_(act)
+{
+    if (edge_dim_ > 0) {
+        edge_enc_ = Linear(edge_dim_, dim);
+        edge_enc_.init_glorot(rng);
+    }
+    mix_.init_glorot(rng);
+}
+
+Vec
+PnaLayer::message(const Vec &x_src, const float *edge_feat,
+                  std::size_t edge_dim, NodeId, NodeId,
+                  const LayerContext &) const
+{
+    Vec msg = x_src;
+    if (edge_dim_ > 0 && edge_feat != nullptr && edge_dim == edge_dim_) {
+        Vec e(edge_feat, edge_feat + edge_dim);
+        add_inplace(msg, edge_enc_.forward(e));
+    }
+    apply_activation(msg, Activation::kRelu);
+    return msg;
+}
+
+Vec
+PnaLayer::transform(const Vec &x_self, const Vec &agg, NodeId,
+                    const LayerContext &) const
+{
+    Vec combined;
+    combined.reserve(13 * dim_);
+    combined.insert(combined.end(), x_self.begin(), x_self.end());
+    combined.insert(combined.end(), agg.begin(), agg.end());
+    Vec out = mix_.forward(combined);
+    apply_activation(out, act_);
+    return out;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,28 @@
+#include "nn/sgc_layer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace flowgnn {
+
+Vec
+SgcLayer::message(const Vec &x_src, const float *, std::size_t, NodeId src,
+                  NodeId dst, const LayerContext &ctx) const
+{
+    float d_src = static_cast<float>(ctx.out_deg[src]) + 1.0f;
+    float d_dst = static_cast<float>(ctx.in_deg[dst]) + 1.0f;
+    return scale(x_src, 1.0f / std::sqrt(d_src * d_dst));
+}
+
+Vec
+SgcLayer::transform(const Vec &x_self, const Vec &agg, NodeId node,
+                    const LayerContext &ctx) const
+{
+    float d_hat = static_cast<float>(ctx.in_deg[node]) + 1.0f;
+    Vec out = agg;
+    axpy_inplace(out, 1.0f / d_hat, x_self);
+    return out;
+}
+
+} // namespace flowgnn

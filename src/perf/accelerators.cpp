@@ -1,0 +1,65 @@
+#include "perf/accelerators.h"
+
+#include <stdexcept>
+
+namespace flowgnn {
+
+namespace {
+
+// Table VIII published rows (latency in us, 4096 DSPs, EE graphs/kJ).
+constexpr PublishedResult kIgcn[] = {
+    {"I-GCN", DatasetKind::kCora, 1.3, 4096, 7.1e6},
+    {"I-GCN", DatasetKind::kCiteSeer, 1.9, 4096, 3.7e6},
+    {"I-GCN", DatasetKind::kPubMed, 15.1, 4096, 5.3e5},
+    {"I-GCN", DatasetKind::kReddit, 3.0e4, 4096, 3.5e2},
+};
+
+constexpr PublishedResult kAwbGcn[] = {
+    {"AWB-GCN", DatasetKind::kCora, 2.3, 4096, 3.1e6},
+    {"AWB-GCN", DatasetKind::kCiteSeer, 4.0, 4096, 1.9e6},
+    {"AWB-GCN", DatasetKind::kPubMed, 30.0, 4096, 2.5e5},
+    {"AWB-GCN", DatasetKind::kReddit, 3.2e4, 4096, 2.1e2},
+};
+
+const PublishedResult &
+find(const PublishedResult *table, std::size_t n, DatasetKind dataset)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (table[i].dataset == dataset)
+            return table[i];
+    throw std::invalid_argument(
+        "accelerators: no published result for dataset");
+}
+
+} // namespace
+
+const PublishedResult &
+igcn_published(DatasetKind dataset)
+{
+    return find(kIgcn, std::size(kIgcn), dataset);
+}
+
+const PublishedResult &
+awbgcn_published(DatasetKind dataset)
+{
+    return find(kAwbGcn, std::size(kAwbGcn), dataset);
+}
+
+double
+dsp_normalized_latency(double latency_us, std::uint32_t dsps)
+{
+    if (dsps == 0)
+        throw std::invalid_argument(
+            "dsp_normalized_latency: dsps must be > 0");
+    return latency_us * static_cast<double>(dsps) / 4096.0;
+}
+
+double
+normalized_speedup(double latency_a_us, std::uint32_t dsps_a,
+                   double latency_b_us, std::uint32_t dsps_b)
+{
+    return dsp_normalized_latency(latency_b_us, dsps_b) /
+           dsp_normalized_latency(latency_a_us, dsps_a);
+}
+
+} // namespace flowgnn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Published numbers and comparison arithmetic for the SOTA GCN
+ * accelerators I-GCN [MICRO'21] and AWB-GCN [MICRO'20] (paper
+ * Table VIII). The paper compares its measured latency against these
+ * accelerators' published latencies, normalized by DSP count; this
+ * module reproduces exactly that computation.
+ */
+#ifndef FLOWGNN_PERF_ACCELERATORS_H
+#define FLOWGNN_PERF_ACCELERATORS_H
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace flowgnn {
+
+/** Published per-dataset results of a prior accelerator. */
+struct PublishedResult {
+    const char *accelerator;
+    DatasetKind dataset;
+    double latency_us;
+    std::uint32_t dsps;
+    double ee_graphs_per_kj;
+};
+
+/** Published I-GCN result for a dataset (Table VIII). */
+const PublishedResult &igcn_published(DatasetKind dataset);
+
+/** Published AWB-GCN result for a dataset (Table VIII). */
+const PublishedResult &awbgcn_published(DatasetKind dataset);
+
+/** Latency normalized by DSP count relative to the 4096-DSP baseline
+ * platform used by I-GCN/AWB-GCN: latency_us * dsps / 4096. */
+double dsp_normalized_latency(double latency_us, std::uint32_t dsps);
+
+/** Speedup of (latency_a, dsps_a) over (latency_b, dsps_b) after DSP
+ * normalization; > 1 means A is faster per DSP. */
+double normalized_speedup(double latency_a_us, std::uint32_t dsps_a,
+                          double latency_b_us, std::uint32_t dsps_b);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_PERF_ACCELERATORS_H

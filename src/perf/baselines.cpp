@@ -1,0 +1,70 @@
+#include "perf/baselines.h"
+
+#include <stdexcept>
+
+namespace flowgnn {
+
+namespace {
+
+// Sustained framework throughputs (MACs per ms). The CPU constant
+// reflects single-graph PyG inference (~15 GFLOP/s effective once
+// Python dispatch is excluded); the GPU constant is the saturated
+// large-batch throughput (~2 TFLOP/s effective for these small
+// kernels, far below peak because the matrices are tiny).
+constexpr double kCpuMacsPerMs = 1.5e7;
+constexpr double kGpuPeakMacsPerMs = 2.0e9;
+
+} // namespace
+
+const BaselineCost &
+baseline_cost(ModelKind kind)
+{
+    // Calibrated so batch-1 HEP latencies land on Table V and the
+    // batch sweep reproduces the Fig. 7 crossovers.
+    static const BaselineCost kGcn{4.20, 2.85, 0.002, 64.0};
+    static const BaselineCost kGin{3.75, 2.20, 0.002, 64.0};
+    static const BaselineCost kGinVn{4.50, 3.30, 0.004, 64.0};
+    static const BaselineCost kGat{1.95, 0.90, 0.55, 512.0};
+    static const BaselineCost kPna{8.90, 4.60, 0.010, 96.0};
+    static const BaselineCost kDgn{29.50, 60.50, 0.180, 128.0};
+
+    switch (kind) {
+      case ModelKind::kGcn:
+      case ModelKind::kGcn16:
+      case ModelKind::kSgc: // SpMM family: GCN-like framework costs
+        return kGcn;
+      case ModelKind::kGin:
+      case ModelKind::kSage: // GIN-family kernel costs (paper Sec. V)
+        return kGin;
+      case ModelKind::kGinVn: return kGinVn;
+      case ModelKind::kGat: return kGat;
+      case ModelKind::kPna: return kPna;
+      case ModelKind::kDgn: return kDgn;
+    }
+    throw std::invalid_argument("baseline_cost: unknown model kind");
+}
+
+double
+CpuModel::latency_ms(const Model &model, const GraphSample &prepared) const
+{
+    const BaselineCost &c = baseline_cost(kind_);
+    double macs = static_cast<double>(model.macs(prepared));
+    return c.cpu_overhead_ms + macs / kCpuMacsPerMs;
+}
+
+double
+GpuModel::latency_ms(const Model &model, const GraphSample &prepared,
+                     std::uint32_t batch_size) const
+{
+    if (batch_size == 0)
+        throw std::invalid_argument("GpuModel: batch_size must be >= 1");
+    const BaselineCost &c = baseline_cost(kind_);
+    double macs = static_cast<double>(model.macs(prepared));
+    double util = static_cast<double>(batch_size) /
+                  (static_cast<double>(batch_size) + c.gpu_batch_half);
+    double compute_ms = macs / (kGpuPeakMacsPerMs * util);
+    return c.gpu_launch_ms / static_cast<double>(batch_size) +
+           c.gpu_pergraph_ms + compute_ms;
+}
+
+} // namespace flowgnn

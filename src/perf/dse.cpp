@@ -1,0 +1,65 @@
+#include "perf/dse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flowgnn {
+
+namespace {
+
+bool
+within(const ResourceUsage &usage, const ResourceUsage &budget)
+{
+    return usage.dsp <= budget.dsp && usage.lut <= budget.lut &&
+           usage.ff <= budget.ff && usage.bram <= budget.bram;
+}
+
+} // namespace
+
+std::vector<DsePoint>
+explore_design_space(const Model &model, const GraphSample &probe,
+                     const DseGrid &grid, const ResourceUsage &budget)
+{
+    std::vector<DsePoint> points;
+    points.reserve(grid.p_node.size() * grid.p_edge.size() *
+                   grid.p_apply.size() * grid.p_scatter.size());
+    for (std::uint32_t pn : grid.p_node) {
+        for (std::uint32_t pe : grid.p_edge) {
+            for (std::uint32_t pa : grid.p_apply) {
+                for (std::uint32_t ps : grid.p_scatter) {
+                    DsePoint pt;
+                    pt.config.p_node = pn;
+                    pt.config.p_edge = pe;
+                    pt.config.p_apply = pa;
+                    pt.config.p_scatter = ps;
+                    pt.resources =
+                        estimate_resources(model, pt.config);
+                    pt.fits = within(pt.resources, budget);
+                    Engine engine(model, pt.config);
+                    pt.cycles = engine.run(probe).stats.total_cycles;
+                    points.push_back(pt);
+                }
+            }
+        }
+    }
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  if (a.fits != b.fits)
+                      return a.fits;
+                  return a.cycles < b.cycles;
+              });
+    return points;
+}
+
+DsePoint
+best_fitting_config(const Model &model, const GraphSample &probe,
+                    const DseGrid &grid, const ResourceUsage &budget)
+{
+    auto points = explore_design_space(model, probe, grid, budget);
+    if (points.empty() || !points.front().fits)
+        throw std::runtime_error(
+            "best_fitting_config: no configuration fits the budget");
+    return points.front();
+}
+
+} // namespace flowgnn

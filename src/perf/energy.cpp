@@ -1,0 +1,32 @@
+#include "perf/energy.h"
+
+#include <stdexcept>
+
+namespace flowgnn {
+
+double
+platform_power_w(Platform platform)
+{
+    switch (platform) {
+      case Platform::kCpu: return 105.0;
+      case Platform::kGpu: return 140.0;
+      case Platform::kFpga: return 27.0;
+    }
+    throw std::invalid_argument("platform_power_w: unknown platform");
+}
+
+double
+energy_per_graph_mj(Platform platform, double latency_ms)
+{
+    return platform_power_w(platform) * latency_ms;
+}
+
+double
+graphs_per_kj(Platform platform, double latency_ms)
+{
+    if (latency_ms <= 0.0)
+        throw std::invalid_argument("graphs_per_kj: latency must be > 0");
+    return 1e6 / (platform_power_w(platform) * latency_ms);
+}
+
+} // namespace flowgnn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Energy-efficiency model (paper Table VI / Table VIII EE columns).
+ *
+ * The paper measures board power; we use calibrated platform power
+ * draws (the paper notes the FPGA runs at roughly 4x less power than
+ * the GPU baseline) and convert latency to graphs per kilojoule:
+ *
+ *   EE [graphs/kJ] = 1e6 / (power_W * latency_ms)
+ */
+#ifndef FLOWGNN_PERF_ENERGY_H
+#define FLOWGNN_PERF_ENERGY_H
+
+namespace flowgnn {
+
+/** Execution platforms compared in the paper. */
+enum class Platform {
+    kCpu,  ///< Xeon Gold 6226R
+    kGpu,  ///< RTX A6000
+    kFpga, ///< Alveo U50 running FlowGNN
+};
+
+/** Calibrated average power draw during inference, in watts. */
+double platform_power_w(Platform platform);
+
+/** Energy per graph in millijoules. */
+double energy_per_graph_mj(Platform platform, double latency_ms);
+
+/** Energy efficiency in graphs per kilojoule (Table VI metric). */
+double graphs_per_kj(Platform platform, double latency_ms);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_PERF_ENERGY_H

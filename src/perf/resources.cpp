@@ -1,0 +1,167 @@
+#include "perf/resources.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/dgn_layer.h"
+#include "nn/encoder_layer.h"
+#include "nn/gat_layer.h"
+#include "nn/gcn_layer.h"
+#include "nn/gin_layer.h"
+#include "nn/pna_layer.h"
+
+namespace flowgnn {
+
+namespace {
+
+constexpr double kDspPerMacLane = 2.0;  ///< fp32 MAC on DSP48E2 pairs
+constexpr double kBytesPerBram = 4608.0; ///< BRAM36 usable bytes
+constexpr std::uint32_t kMaxFcWidth = 64; ///< output-dim unroll cap
+
+/** FC lanes one NT unit instantiates for a stage: the first
+ * input-stationary pass is fully unrolled (capped), later passes are
+ * folded 2x since they overlap the first at half duty. */
+double
+stage_fc_lanes(const Layer &stage)
+{
+    const auto passes = stage.nt_pass_dims();
+    double lanes = 0.0;
+    std::size_t out =
+        std::min<std::size_t>(stage.out_dim(), kMaxFcWidth);
+    for (std::size_t p = 0; p < passes.size(); ++p)
+        lanes += (p == 0) ? static_cast<double>(out)
+                          : static_cast<double>(out) / 2.0;
+    return lanes;
+}
+
+/** Per-edge datapath ops one MP lane performs for a stage's messages. */
+double
+stage_mp_ops(const Layer &stage)
+{
+    if (dynamic_cast<const GcnLayer *>(&stage) != nullptr)
+        return 1.0; // normalization scale
+    if (dynamic_cast<const GinLayer *>(&stage) != nullptr)
+        return 3.0; // edge encode + add + relu
+    if (dynamic_cast<const PnaLayer *>(&stage) != nullptr)
+        return 8.0; // encode, relu, sum, sumsq mult+acc, max, min, count
+    if (dynamic_cast<const DgnLayer *>(&stage) != nullptr)
+        return 3.0; // edge encode + directional multiply + 2 accums
+    if (dynamic_cast<const GatLayer *>(&stage) != nullptr)
+        return 6.0; // dot, leaky-relu, max, exp, weight, accumulate
+    return 0.0;
+}
+
+/** DSP-hungry special function units (exp, div, sqrt) per stage. */
+double
+stage_special_dsp(const Layer &stage, const EngineConfig &cfg)
+{
+    if (const auto *gat = dynamic_cast<const GatLayer *>(&stage)) {
+        // exp + divide per head in every MP unit, plus the per-node
+        // attention-logit dot products in the NT units.
+        return static_cast<double>(cfg.p_edge) * gat->num_heads() * 18.0 +
+               static_cast<double>(cfg.p_node) * cfg.p_apply *
+                   gat->num_heads() * 4.0;
+    }
+    if (dynamic_cast<const PnaLayer *>(&stage) != nullptr) {
+        // sqrt (std) + log/div scalers across the scatter lanes.
+        return static_cast<double>(cfg.p_edge) * cfg.p_scatter * 20.0;
+    }
+    if (dynamic_cast<const DgnLayer *>(&stage) != nullptr) {
+        // |.| + divide for the directional normalizer.
+        return static_cast<double>(cfg.p_node) * cfg.p_apply * 10.0;
+    }
+    return 0.0;
+}
+
+std::uint32_t
+buffer_brams(double bytes)
+{
+    return static_cast<std::uint32_t>(
+        std::ceil(bytes / kBytesPerBram));
+}
+
+} // namespace
+
+ResourceUsage
+estimate_resources(const Model &model, const EngineConfig &config,
+                   std::uint32_t max_nodes)
+{
+    config.validate();
+
+    // --- Compute lanes: NT/MP hardware is shared across layers, so
+    // the widest stage sets the instantiated datapath. ---
+    double fc_lanes = 0.0, mp_ops = 0.0, special = 0.0;
+    std::size_t max_emb = 1;
+    std::size_t max_state = 1;
+    bool has_gat = false;
+    std::size_t gat_heads = 0;
+    std::size_t edge_dim = 0;
+    for (std::size_t i = 0; i < model.num_stages(); ++i) {
+        const Layer &stage = model.stage(i);
+        fc_lanes = std::max(fc_lanes, stage_fc_lanes(stage));
+        mp_ops = std::max(mp_ops, stage_mp_ops(stage));
+        special = std::max(special, stage_special_dsp(stage, config));
+        max_emb = std::max(max_emb, stage.out_dim());
+        if (stage.msg_dim() > 0)
+            max_state =
+                std::max(max_state, stage.aggregator().state_dim());
+        if (const auto *gat = dynamic_cast<const GatLayer *>(&stage)) {
+            has_gat = true;
+            gat_heads = gat->num_heads();
+        }
+        if (stage.uses_edge_features())
+            edge_dim = std::max<std::size_t>(edge_dim, 4);
+    }
+
+    double nt_dsp = config.p_node * config.p_apply * fc_lanes *
+                    kDspPerMacLane;
+    double mp_dsp = config.p_edge * config.p_scatter * mp_ops *
+                    kDspPerMacLane;
+    double head_dsp =
+        std::min<double>(model.head().out_dim() * config.p_apply, 64.0) *
+        kDspPerMacLane;
+
+    ResourceUsage usage;
+    usage.dsp = static_cast<std::uint32_t>(
+        std::lround(nt_dsp + mp_dsp + special + head_dsp));
+
+    // --- On-chip buffers ---
+    double node_buf =
+        2.0 * max_nodes * static_cast<double>(max_emb) * 4.0;
+    double msg_buf =
+        2.0 * max_nodes * static_cast<double>(max_state) * 4.0;
+    double edge_tab =
+        static_cast<double>(max_nodes) * 16.0 *
+        static_cast<double>(edge_dim + 2) * 4.0 / 4.0;
+    double gat_scores = 0.0;
+    if (has_gat) {
+        // Per-edge per-head score buffer, double-buffered across the
+        // two attention passes (E_max = 16 * N_max).
+        gat_scores = 2.0 * 16.0 * max_nodes *
+                     static_cast<double>(gat_heads) * 4.0;
+    }
+    usage.bram = buffer_brams(node_buf) + buffer_brams(msg_buf) +
+                 buffer_brams(edge_tab) +
+                 (has_gat ? buffer_brams(gat_scores) : 0) +
+                 8; // control / weight staging
+
+    // --- Fabric: control per unit + datapath glue per DSP lane ---
+    double lut = 40000.0 + 8000.0 * config.p_node +
+                 6000.0 * config.p_edge + 55.0 * usage.dsp +
+                 800.0 * static_cast<double>(max_emb);
+    double ff = 30000.0 + 5500.0 * config.p_node +
+                4500.0 * config.p_edge + 42.0 * usage.dsp +
+                520.0 * static_cast<double>(max_emb);
+    usage.lut = static_cast<std::uint32_t>(std::lround(lut));
+    usage.ff = static_cast<std::uint32_t>(std::lround(ff));
+    return usage;
+}
+
+bool
+fits_u50(const ResourceUsage &usage)
+{
+    return usage.dsp <= kAlveoU50.dsp && usage.lut <= kAlveoU50.lut &&
+           usage.ff <= kAlveoU50.ff && usage.bram <= kAlveoU50.bram;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-point arithmetic emulation.
+ *
+ * The FlowGNN HLS kernels compute in ap_fixed rather than fp32; the
+ * paper's functional guarantee is a cross-check against fp32 PyTorch
+ * within tolerance. This module provides a runtime-configurable
+ * Q-format quantizer so the engine can emulate the fixed-point
+ * datapath and the precision ablation can measure accuracy loss per
+ * format (see bench_precision_ablation).
+ */
+#ifndef FLOWGNN_TENSOR_FIXED_POINT_H
+#define FLOWGNN_TENSOR_FIXED_POINT_H
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace flowgnn {
+
+/**
+ * Signed Q-format: total_bits wide with frac_bits fractional bits
+ * (ap_fixed<total_bits, total_bits - frac_bits> in Vitis terms).
+ * Values quantize by round-to-nearest and saturate at the
+ * representable range.
+ */
+struct FixedPointFormat {
+    int total_bits = 16;
+    int frac_bits = 10;
+
+    /** Integer bits including the sign. */
+    int int_bits() const { return total_bits - frac_bits; }
+
+    /** Size of one quantization step. */
+    double ulp() const;
+
+    /** Largest representable value. */
+    double max_value() const;
+
+    /** Smallest (most negative) representable value. */
+    double min_value() const;
+
+    /** True if the format is usable (>= 2 bits, frac fits). */
+    bool valid() const;
+
+    /** Short name like "Q16.10". */
+    const char *name_into(char *buffer, std::size_t size) const;
+};
+
+/** Quantizes one value: round to nearest step, saturate to range. */
+float quantize(float value, const FixedPointFormat &format);
+
+/** Quantizes a vector in place. */
+void quantize_inplace(Vec &values, const FixedPointFormat &format);
+
+/** Quantizes a buffer in place. */
+void quantize_inplace(float *values, std::size_t count,
+                      const FixedPointFormat &format);
+
+/** Common formats used by HLS GNN accelerators. */
+inline constexpr FixedPointFormat kFixed16_10{16, 10}; ///< ap_fixed<16,6>
+inline constexpr FixedPointFormat kFixed12_8{12, 8};
+inline constexpr FixedPointFormat kFixed8_4{8, 4};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_TENSOR_FIXED_POINT_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dense row-major matrix and vector types used throughout the library.
+ *
+ * These are deliberately small and dependency-free: FlowGNN's workloads
+ * are many small graphs with embedding dimensions of 16-100, so a
+ * cache-friendly contiguous buffer with simple loops is both sufficient
+ * and easy to keep bit-identical between the reference library and the
+ * dataflow engine.
+ */
+#ifndef FLOWGNN_TENSOR_MATRIX_H
+#define FLOWGNN_TENSOR_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace flowgnn {
+
+/** Dense float vector. Alias kept simple so slices interoperate with STL. */
+using Vec = std::vector<float>;
+
+/**
+ * Dense row-major matrix of floats.
+ *
+ * Rows are contiguous so a row can be exposed as a cheap span for the
+ * per-node embedding operations that dominate GNN compute.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Creates a rows x cols matrix initialized to the given value. */
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    operator()(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float
+    operator()(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the first element of row r. */
+    float *
+    row(std::size_t r)
+    {
+        assert(r < rows_);
+        return data_.data() + r * cols_;
+    }
+
+    const float *
+    row(std::size_t r) const
+    {
+        assert(r < rows_);
+        return data_.data() + r * cols_;
+    }
+
+    /** Copies row r into a standalone vector. */
+    Vec row_vec(std::size_t r) const;
+
+    /** Overwrites row r with the given vector (must match cols()). */
+    void set_row(std::size_t r, const Vec &v);
+
+    /** Sets every element to the given value. */
+    void fill(float value);
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_TENSOR_MATRIX_H

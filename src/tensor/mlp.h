@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-layer perceptron built from Linear layers, used for GIN node
+ * transformations and for model prediction heads.
+ */
+#ifndef FLOWGNN_TENSOR_MLP_H
+#define FLOWGNN_TENSOR_MLP_H
+
+#include <vector>
+
+#include "tensor/activations.h"
+#include "tensor/linear.h"
+
+namespace flowgnn {
+
+/**
+ * MLP with a hidden activation applied between layers (not after the
+ * final layer unless final_activation is set).
+ */
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    /**
+     * Builds an MLP with the given layer widths, e.g. {80, 40, 20, 1}
+     * creates Linear(80,40) -> act -> Linear(40,20) -> act ->
+     * Linear(20,1).
+     */
+    Mlp(const std::vector<std::size_t> &dims,
+        Activation hidden_activation = Activation::kRelu,
+        Activation final_activation = Activation::kIdentity);
+
+    void init_glorot(Rng &rng);
+
+    Vec forward(const Vec &x) const;
+
+    std::size_t in_dim() const;
+    std::size_t out_dim() const;
+    std::size_t num_layers() const { return layers_.size(); }
+    const Linear &layer(std::size_t i) const { return layers_.at(i); }
+    Linear &layer(std::size_t i) { return layers_.at(i); }
+    Activation hidden_activation() const { return hidden_activation_; }
+
+    /** Total multiply-accumulates per forward pass. */
+    std::size_t macs() const;
+
+  private:
+    std::vector<Linear> layers_;
+    Activation hidden_activation_ = Activation::kRelu;
+    Activation final_activation_ = Activation::kIdentity;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_TENSOR_MLP_H

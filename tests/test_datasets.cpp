@@ -1,0 +1,142 @@
+/** @file Synthetic dataset generator tests (Table IV fidelity). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/dataset.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(DatasetSpec, TableIvRowsPresent)
+{
+    const DatasetSpec &hiv = dataset_spec(DatasetKind::kMolHiv);
+    EXPECT_STREQ(hiv.name, "MolHIV");
+    EXPECT_EQ(hiv.num_graphs, 4113u);
+    EXPECT_TRUE(hiv.edge_features);
+
+    const DatasetSpec &reddit = dataset_spec(DatasetKind::kReddit);
+    EXPECT_EQ(reddit.num_graphs, 1u);
+    EXPECT_EQ(reddit.scale, 64u);
+    EXPECT_FALSE(reddit.edge_features);
+}
+
+TEST(Datasets, SamplesAreDeterministic)
+{
+    for (DatasetKind kind :
+         {DatasetKind::kMolHiv, DatasetKind::kHep, DatasetKind::kCora}) {
+        GraphSample a = make_sample(kind, 0);
+        GraphSample b = make_sample(kind, 0);
+        EXPECT_EQ(a.graph.edges, b.graph.edges);
+        EXPECT_EQ(a.node_features, b.node_features);
+    }
+}
+
+TEST(Datasets, DistinctIndicesDistinctGraphs)
+{
+    GraphSample a = make_sample(DatasetKind::kMolHiv, 0);
+    GraphSample b = make_sample(DatasetKind::kMolHiv, 1);
+    EXPECT_TRUE(a.graph.num_nodes != b.graph.num_nodes ||
+                a.graph.edges != b.graph.edges);
+}
+
+TEST(Datasets, SamplesAreConsistent)
+{
+    for (DatasetKind kind : kAllDatasets) {
+        GraphSample s = make_sample(kind, 0);
+        EXPECT_TRUE(s.consistent()) << dataset_spec(kind).name;
+        EXPECT_EQ(s.node_dim(), dataset_spec(kind).node_dim);
+        EXPECT_EQ(s.edge_dim(), dataset_spec(kind).edge_dim);
+    }
+}
+
+TEST(Datasets, IndexBoundsEnforced)
+{
+    EXPECT_THROW(make_sample(DatasetKind::kCora, 1), std::out_of_range);
+    EXPECT_THROW(make_sample(DatasetKind::kMolHiv, 4113),
+                 std::out_of_range);
+    EXPECT_NO_THROW(make_sample(DatasetKind::kMolHiv, 4112));
+}
+
+TEST(Datasets, MolecularStatsNearTableIv)
+{
+    DatasetStats st = measure_dataset(DatasetKind::kMolHiv, 200);
+    EXPECT_NEAR(st.avg_nodes, 25.3, 25.3 * 0.2);
+    EXPECT_NEAR(st.avg_edges, 55.6, 55.6 * 0.25);
+    EXPECT_TRUE(st.edge_features);
+}
+
+TEST(Datasets, HepStatsNearTableIv)
+{
+    DatasetStats st = measure_dataset(DatasetKind::kHep, 100);
+    EXPECT_NEAR(st.avg_nodes, 49.1, 49.1 * 0.15);
+    EXPECT_NEAR(st.avg_edges, 785.3, 785.3 * 0.15);
+}
+
+TEST(Datasets, HepGraphsAreK16)
+{
+    GraphSample s = make_sample(DatasetKind::kHep, 4);
+    auto in = s.graph.in_degrees();
+    for (auto d : in)
+        EXPECT_EQ(d, 16u);
+}
+
+TEST(Datasets, CitationGraphsMatchExactCounts)
+{
+    GraphSample cora = make_sample(DatasetKind::kCora, 0);
+    EXPECT_EQ(cora.num_nodes(), 2708u);
+    EXPECT_EQ(cora.num_edges(), 5429u);
+    GraphSample cs = make_sample(DatasetKind::kCiteSeer, 0);
+    EXPECT_EQ(cs.num_nodes(), 3327u);
+    EXPECT_EQ(cs.num_edges(), 4732u);
+}
+
+TEST(Datasets, PubMedMatchesExactCounts)
+{
+    GraphSample s = make_sample(DatasetKind::kPubMed, 0);
+    EXPECT_EQ(s.num_nodes(), 19717u);
+    EXPECT_EQ(s.num_edges(), 44338u);
+}
+
+TEST(Datasets, RedditScaledPreservesAverageDegree)
+{
+    GraphSample s = make_sample(DatasetKind::kReddit, 0);
+    const DatasetSpec &spec = dataset_spec(DatasetKind::kReddit);
+    EXPECT_EQ(s.num_nodes(),
+              static_cast<NodeId>(std::llround(spec.avg_nodes / 64)));
+    double deg = static_cast<double>(s.num_edges()) / s.num_nodes();
+    double target = spec.avg_edges / spec.avg_nodes;
+    EXPECT_NEAR(deg, target, target * 0.05);
+}
+
+TEST(Datasets, MolecularEdgeFeaturesMirrored)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 6);
+    std::size_t bonds = s.num_edges() / 2;
+    for (std::size_t b = 0; b < bonds; ++b)
+        for (std::size_t c = 0; c < s.edge_dim(); ++c)
+            EXPECT_EQ(s.edge_features(b, c),
+                      s.edge_features(bonds + b, c));
+}
+
+TEST(SampleStream, CyclesThroughLimit)
+{
+    SampleStream stream(DatasetKind::kMolHiv, 3);
+    EXPECT_EQ(stream.size(), 3u);
+    GraphSample first = stream.next();
+    stream.next();
+    stream.next();
+    GraphSample wrapped = stream.next();
+    EXPECT_EQ(first.graph.edges, wrapped.graph.edges);
+}
+
+TEST(SampleStream, DefaultLimitIsDatasetSize)
+{
+    SampleStream stream(DatasetKind::kHep);
+    EXPECT_EQ(stream.size(), 10000u);
+    SampleStream capped(DatasetKind::kCora, 100);
+    EXPECT_EQ(capped.size(), 1u);
+}
+
+} // namespace
+} // namespace flowgnn

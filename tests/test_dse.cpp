@@ -1,0 +1,97 @@
+/** @file Design-space exploration utility tests. */
+#include <gtest/gtest.h>
+
+#include "datasets/dataset.h"
+#include "perf/dse.h"
+
+namespace flowgnn {
+namespace {
+
+DseGrid
+tiny_grid()
+{
+    DseGrid grid;
+    grid.p_node = {1, 2};
+    grid.p_edge = {1, 2};
+    grid.p_apply = {1, 4};
+    grid.p_scatter = {2};
+    return grid;
+}
+
+class DseFixture : public ::testing::Test
+{
+  protected:
+    DseFixture()
+        : probe_(make_sample(DatasetKind::kMolHiv, 1)),
+          model_(make_model(ModelKind::kGcn, probe_.node_dim(),
+                            probe_.edge_dim()))
+    {
+    }
+
+    GraphSample probe_;
+    Model model_;
+};
+
+TEST_F(DseFixture, EnumeratesFullGrid)
+{
+    auto points = explore_design_space(model_, probe_, tiny_grid());
+    EXPECT_EQ(points.size(), 8u);
+    for (const auto &pt : points) {
+        EXPECT_GT(pt.cycles, 0u);
+        EXPECT_GT(pt.resources.dsp, 0u);
+    }
+}
+
+TEST_F(DseFixture, SortedFittingFirstThenByCycles)
+{
+    auto points = explore_design_space(model_, probe_, tiny_grid());
+    bool seen_nonfitting = false;
+    std::uint64_t prev_cycles = 0;
+    bool prev_fits = true;
+    for (const auto &pt : points) {
+        if (!pt.fits)
+            seen_nonfitting = true;
+        else
+            EXPECT_FALSE(seen_nonfitting)
+                << "fitting point after a non-fitting one";
+        if (pt.fits == prev_fits) {
+            EXPECT_GE(pt.cycles, prev_cycles);
+        }
+        prev_cycles = pt.cycles;
+        prev_fits = pt.fits;
+    }
+}
+
+TEST_F(DseFixture, BestFittingIsFastestFitting)
+{
+    DsePoint best = best_fitting_config(model_, probe_, tiny_grid());
+    EXPECT_TRUE(best.fits);
+    for (const auto &pt :
+         explore_design_space(model_, probe_, tiny_grid()))
+        if (pt.fits) {
+            EXPECT_LE(best.cycles, pt.cycles);
+        }
+}
+
+TEST_F(DseFixture, ImpossibleBudgetThrows)
+{
+    ResourceUsage tiny_budget{1, 1, 1, 1};
+    EXPECT_THROW(
+        best_fitting_config(model_, probe_, tiny_grid(), tiny_budget),
+        std::runtime_error);
+}
+
+TEST_F(DseFixture, AllDefaultGridPointsFitU50ForGcn)
+{
+    // The paper's full Fig. 10 grid synthesizes on the U50.
+    auto points = explore_design_space(model_, probe_);
+    EXPECT_EQ(points.size(), 108u); // 3*3*3*4
+    for (const auto &pt : points)
+        EXPECT_TRUE(pt.fits)
+            << "Pn" << pt.config.p_node << " Pe" << pt.config.p_edge
+            << " Pa" << pt.config.p_apply << " Ps"
+            << pt.config.p_scatter;
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,160 @@
+/** @file Random-graph generator tests. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCountNoDupesNoLoops)
+{
+    Rng rng(1);
+    CooGraph g = make_erdos_renyi(30, 100, rng);
+    EXPECT_EQ(g.num_nodes, 30u);
+    EXPECT_EQ(g.num_edges(), 100u);
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (const auto &e : g.edges) {
+        EXPECT_NE(e.src, e.dst);
+        EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+    }
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(ErdosRenyi, RejectsImpossibleRequests)
+{
+    Rng rng(1);
+    EXPECT_THROW(make_erdos_renyi(3, 100, rng), std::invalid_argument);
+    EXPECT_THROW(make_erdos_renyi(1, 1, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, Deterministic)
+{
+    Rng a(5), b(5);
+    CooGraph ga = make_erdos_renyi(20, 40, a);
+    CooGraph gb = make_erdos_renyi(20, 40, b);
+    EXPECT_EQ(ga.edges, gb.edges);
+}
+
+TEST(Molecule, SymmetricEdgesAndConnectedSkeleton)
+{
+    Rng rng(2);
+    CooGraph g = make_molecule(25, rng);
+    EXPECT_TRUE(g.valid());
+    // Both directions present; forward block first.
+    std::size_t bonds = g.num_edges() / 2;
+    for (std::size_t b = 0; b < bonds; ++b) {
+        EXPECT_EQ(g.edges[b].src, g.edges[bonds + b].dst);
+        EXPECT_EQ(g.edges[b].dst, g.edges[bonds + b].src);
+    }
+    // Spanning tree: at least n-1 bonds; every node touched.
+    EXPECT_GE(bonds, 24u);
+    auto deg = g.out_degrees();
+    for (auto d : deg)
+        EXPECT_GE(d, 1u);
+}
+
+TEST(Molecule, AverageDegreeIsChemistryLike)
+{
+    Rng rng(3);
+    double total_ratio = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        CooGraph g = make_molecule(25, rng);
+        total_ratio +=
+            static_cast<double>(g.num_edges()) / g.num_nodes;
+    }
+    // MolHIV: 55.6 edges / 25.3 nodes ~ 2.2.
+    double avg = total_ratio / trials;
+    EXPECT_GT(avg, 1.8);
+    EXPECT_LT(avg, 2.6);
+}
+
+TEST(Molecule, TinyGraphs)
+{
+    Rng rng(4);
+    EXPECT_EQ(make_molecule(0, rng).num_edges(), 0u);
+    EXPECT_EQ(make_molecule(1, rng).num_edges(), 0u);
+    CooGraph pair = make_molecule(2, rng);
+    EXPECT_EQ(pair.num_edges(), 2u); // one bond, both directions
+}
+
+TEST(KnnPointCloud, EveryNodeReceivesExactlyK)
+{
+    Rng rng(5);
+    CooGraph g = make_knn_point_cloud(50, 16, rng);
+    EXPECT_EQ(g.num_edges(), 50u * 16u);
+    auto in = g.in_degrees();
+    for (auto d : in)
+        EXPECT_EQ(d, 16u);
+}
+
+TEST(KnnPointCloud, KClampedToNodeCount)
+{
+    Rng rng(5);
+    CooGraph g = make_knn_point_cloud(5, 16, rng);
+    EXPECT_EQ(g.num_edges(), 5u * 4u); // k clamped to n-1
+}
+
+TEST(KnnPointCloud, NoSelfLoops)
+{
+    Rng rng(6);
+    CooGraph g = make_knn_point_cloud(30, 8, rng);
+    for (const auto &e : g.edges)
+        EXPECT_NE(e.src, e.dst);
+}
+
+TEST(BarabasiAlbert, SymmetricWithPowerLawHubs)
+{
+    Rng rng(7);
+    CooGraph g = make_barabasi_albert(500, 2, rng);
+    EXPECT_TRUE(g.valid());
+    auto out = g.out_degrees();
+    auto in = g.in_degrees();
+    EXPECT_EQ(out, in); // symmetrized
+    std::uint32_t max_deg = *std::max_element(out.begin(), out.end());
+    double avg =
+        static_cast<double>(g.num_edges()) / g.num_nodes;
+    // Preferential attachment: hubs far above the mean.
+    EXPECT_GT(max_deg, 4 * avg);
+}
+
+TEST(BarabasiAlbert, EdgeCountMatchesFormula)
+{
+    Rng rng(8);
+    std::uint32_t m = 3;
+    NodeId n = 100;
+    CooGraph g = make_barabasi_albert(n, m, rng);
+    // seed clique (m+1 choose 2) + m per remaining node, both dirs.
+    std::size_t links = (m + 1) * m / 2 + (n - m - 1) * m;
+    EXPECT_EQ(g.num_edges(), 2 * links);
+}
+
+TEST(BarabasiAlbert, ZeroMThrows)
+{
+    Rng rng(1);
+    EXPECT_THROW(make_barabasi_albert(10, 0, rng),
+                 std::invalid_argument);
+}
+
+TEST(VirtualNode, ConnectsToAllNodesBothWays)
+{
+    Rng rng(9);
+    CooGraph g = make_molecule(10, rng);
+    std::size_t base_edges = g.num_edges();
+    CooGraph vn = add_virtual_node(g);
+    EXPECT_EQ(vn.num_nodes, 11u);
+    EXPECT_EQ(vn.num_edges(), base_edges + 20u);
+    // Original edges keep their positions (features stay aligned).
+    for (std::size_t i = 0; i < base_edges; ++i)
+        EXPECT_EQ(vn.edges[i], g.edges[i]);
+    auto in = vn.in_degrees();
+    auto out = vn.out_degrees();
+    EXPECT_EQ(in[10], 10u);
+    EXPECT_EQ(out[10], 10u);
+}
+
+} // namespace
+} // namespace flowgnn

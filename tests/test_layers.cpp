@@ -1,0 +1,247 @@
+/** @file Layer-kernel unit tests (phi / gamma semantics per model). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "nn/dgn_layer.h"
+#include "nn/encoder_layer.h"
+#include "nn/gat_layer.h"
+#include "nn/gcn_layer.h"
+#include "nn/gin_layer.h"
+#include "nn/pna_layer.h"
+#include "tensor/ops.h"
+
+namespace flowgnn {
+namespace {
+
+GraphSample
+tiny_sample(std::size_t node_dim = 4, std::size_t edge_dim = 2)
+{
+    Rng rng(1);
+    GraphSample s;
+    s.graph.num_nodes = 4;
+    s.graph.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+    s.node_features = Matrix(4, node_dim, 0.3f);
+    if (edge_dim > 0)
+        s.edge_features = Matrix(5, edge_dim, 0.1f);
+    return s;
+}
+
+TEST(LayerContext, DegreesAndDgnNorm)
+{
+    GraphSample s = tiny_sample();
+    s.dgn_field = {0.0f, 1.0f, 3.0f, -1.0f};
+    LayerContext ctx = make_layer_context(s);
+    EXPECT_EQ(ctx.out_deg, (std::vector<std::uint32_t>{2, 1, 1, 1}));
+    EXPECT_EQ(ctx.in_deg, (std::vector<std::uint32_t>{1, 1, 2, 1}));
+    // dgn_norm[2] = |u0 - u2| + |u1 - u2| + eps = 3 + 2 + eps.
+    ASSERT_EQ(ctx.dgn_norm.size(), 4u);
+    EXPECT_NEAR(ctx.dgn_norm[2], 5.0f, 1e-4f);
+}
+
+TEST(EncoderLayer, IsPureLinear)
+{
+    Rng rng(2);
+    EncoderLayer enc(4, 8, rng);
+    EXPECT_EQ(enc.msg_dim(), 0u);
+    GraphSample s = tiny_sample();
+    LayerContext ctx = make_layer_context(s);
+    Vec x{1, 2, 3, 4};
+    EXPECT_EQ(enc.transform(x, {}, 0, ctx), enc.linear().forward(x));
+    EXPECT_EQ(enc.nt_pass_dims(), (std::vector<std::size_t>{4}));
+}
+
+TEST(GcnLayer, MessageAppliesSymmetricNorm)
+{
+    Rng rng(3);
+    GcnLayer gcn(4, 4, Activation::kRelu, rng);
+    GraphSample s = tiny_sample();
+    LayerContext ctx = make_layer_context(s);
+    Vec x{1, 1, 1, 1};
+    // Edge 0->1: out_deg[0]=2, in_deg[1]=1 -> 1/sqrt(3*2).
+    Vec m = gcn.message(x, nullptr, 0, 0, 1, ctx);
+    float expected = 1.0f / std::sqrt(6.0f);
+    for (float v : m)
+        EXPECT_NEAR(v, expected, 1e-6f);
+}
+
+TEST(GcnLayer, TransformAddsScaledSelfLoop)
+{
+    Rng rng(3);
+    GcnLayer gcn(2, 2, Activation::kIdentity, rng);
+    // Identity weights isolate the combine arithmetic.
+    gcn.message({1, 1}, nullptr, 0, 0, 1, make_layer_context(tiny_sample()));
+    GraphSample s = tiny_sample(2, 0);
+    LayerContext ctx = make_layer_context(s);
+    Matrix &w = const_cast<Linear &>(gcn.linear()).weight();
+    w.fill(0.0f);
+    w(0, 0) = 1.0f;
+    w(1, 1) = 1.0f;
+    const_cast<Linear &>(gcn.linear()).bias_ref() = {0.0f, 0.0f};
+    // Node 0 has in_deg 1 -> self scale 1/2.
+    Vec out = gcn.transform({4, 8}, {1, 1}, 0, ctx);
+    EXPECT_FLOAT_EQ(out[0], 1.0f + 2.0f);
+    EXPECT_FLOAT_EQ(out[1], 1.0f + 4.0f);
+}
+
+TEST(GinLayer, MessageIsReluOfSumWithEdgeEncoding)
+{
+    Rng rng(4);
+    GinLayer gin(3, 0, Activation::kRelu, rng); // no edge features
+    GraphSample s = tiny_sample(3, 0);
+    LayerContext ctx = make_layer_context(s);
+    Vec m = gin.message({-1.0f, 0.0f, 2.0f}, nullptr, 0, 0, 1, ctx);
+    EXPECT_EQ(m, (Vec{0.0f, 0.0f, 2.0f}));
+}
+
+TEST(GinLayer, EdgeFeaturesShiftMessages)
+{
+    Rng rng(4);
+    GinLayer gin(3, 2, Activation::kRelu, rng);
+    GraphSample s = tiny_sample(3, 2);
+    LayerContext ctx = make_layer_context(s);
+    float ef_a[2] = {0.5f, -0.5f};
+    float ef_b[2] = {-0.5f, 0.5f};
+    Vec x{1.0f, 1.0f, 1.0f};
+    Vec ma = gin.message(x, ef_a, 2, 0, 1, ctx);
+    Vec mb = gin.message(x, ef_b, 2, 0, 1, ctx);
+    EXPECT_GT(max_abs_diff(ma, mb), 0.0f)
+        << "distinct edge features must yield distinct messages";
+}
+
+TEST(GinLayer, TransformUsesEpsilonWeightedSelf)
+{
+    Rng rng(4);
+    GinLayer gin(2, 0, Activation::kIdentity, rng);
+    GraphSample s = tiny_sample(2, 0);
+    LayerContext ctx = make_layer_context(s);
+    // (1+eps)*x + agg with eps=0.1.
+    Vec a = gin.transform({1, 1}, {0, 0}, 0, ctx);
+    Vec b = gin.transform({0, 0}, {1.1f, 1.1f}, 0, ctx);
+    EXPECT_LT(max_abs_diff(a, b), 1e-5f);
+}
+
+TEST(PnaLayer, DimsAndAggregator)
+{
+    Rng rng(5);
+    PnaLayer pna(8, 2, Activation::kRelu, rng);
+    EXPECT_EQ(pna.msg_dim(), 8u);
+    EXPECT_EQ(pna.aggregator_kind(), AggregatorKind::kPna);
+    EXPECT_EQ(pna.aggregator().out_dim(), 96u);
+    EXPECT_EQ(pna.nt_pass_dims(), (std::vector<std::size_t>{104}));
+}
+
+TEST(PnaLayer, TransformConsumesConcatenation)
+{
+    Rng rng(5);
+    PnaLayer pna(4, 0, Activation::kIdentity, rng);
+    GraphSample s = tiny_sample(4, 0);
+    LayerContext ctx = make_layer_context(s);
+    Vec agg(48, 0.1f);
+    Vec out = pna.transform({1, 2, 3, 4}, agg, 0, ctx);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(DgnLayer, MessageCarriesMeanAndDirectionalParts)
+{
+    Rng rng(6);
+    DgnLayer dgn(2, 0, Activation::kRelu, rng);
+    GraphSample s = tiny_sample(2, 0);
+    s.dgn_field = {0.0f, 2.0f, 0.0f, 0.0f};
+    LayerContext ctx = make_layer_context(s);
+    // Edge 0->1: w = (u0-u1)/norm[1] = -2/(2+eps) ~ -1.
+    Vec m = dgn.message({3.0f, 5.0f}, nullptr, 0, 0, 1, ctx);
+    ASSERT_EQ(m.size(), 4u);
+    EXPECT_FLOAT_EQ(m[0], 3.0f);
+    EXPECT_FLOAT_EQ(m[1], 5.0f);
+    EXPECT_NEAR(m[2], -3.0f, 1e-4f);
+    EXPECT_NEAR(m[3], -5.0f, 1e-4f);
+}
+
+TEST(DgnLayer, MissingFieldThrows)
+{
+    Rng rng(6);
+    DgnLayer dgn(2, 0, Activation::kRelu, rng);
+    GraphSample s = tiny_sample(2, 0);
+    LayerContext ctx = make_layer_context(s);
+    EXPECT_THROW(dgn.message({1, 1}, nullptr, 0, 0, 1, ctx),
+                 std::invalid_argument);
+}
+
+TEST(GatLayer, DimsAndDataflow)
+{
+    Rng rng(7);
+    GatLayer gat(8, 4, 16, Activation::kElu, rng);
+    EXPECT_EQ(gat.out_dim(), 64u);
+    EXPECT_EQ(gat.dataflow(), DataflowKind::kMpToNt);
+    EXPECT_EQ(gat.mp_rounds(), 2u);
+}
+
+TEST(GatLayer, UniformNeighborhoodAveragesToSelf)
+{
+    // If all projections are identical, attention weights are uniform
+    // and the combine returns act(h) itself.
+    Rng rng(7);
+    GatLayer gat(4, 2, 3, Activation::kIdentity, rng);
+    Vec h = gat.project({0.5f, -0.5f, 1.0f, 0.0f});
+    std::vector<const Vec *> nbrs{&h, &h, &h};
+    Vec out = gat_combine(gat, h, nbrs);
+    EXPECT_LT(max_abs_diff(out, h), 1e-5f);
+}
+
+TEST(GatLayer, AttentionIsAWeightedAverage)
+{
+    // Output of each head must lie inside the convex hull of the
+    // inputs (attention weights sum to 1 and are positive).
+    Rng rng(8);
+    GatLayer gat(4, 1, 4, Activation::kIdentity, rng);
+    Vec h_self = gat.project({1, 0, 0, 0});
+    Vec h_a = gat.project({0, 1, 0, 0});
+    Vec h_b = gat.project({0, 0, 1, 0});
+    std::vector<const Vec *> nbrs{&h_a, &h_b};
+    Vec out = gat_combine(gat, h_self, nbrs);
+    for (std::size_t d = 0; d < 4; ++d) {
+        float lo = std::min({h_self[d], h_a[d], h_b[d]});
+        float hi = std::max({h_self[d], h_a[d], h_b[d]});
+        EXPECT_GE(out[d], lo - 1e-5f);
+        EXPECT_LE(out[d], hi + 1e-5f);
+    }
+}
+
+TEST(GatLayer, EmptyNeighborhoodReturnsActivatedSelf)
+{
+    Rng rng(9);
+    GatLayer gat(4, 2, 2, Activation::kElu, rng);
+    Vec h = gat.project({1, 2, 3, 4});
+    Vec out = gat_combine(gat, h, {});
+    Vec expected = h;
+    apply_activation(expected, Activation::kElu);
+    EXPECT_LT(max_abs_diff(out, expected), 1e-6f);
+}
+
+TEST(GatLayer, ScoresUseLeakyRelu)
+{
+    Rng rng(10);
+    GatLayer gat(2, 1, 2, Activation::kIdentity, rng);
+    Vec h1 = gat.project({1, 0});
+    Vec h2 = gat.project({0, 1});
+    Vec s = gat.edge_scores(h1, h2);
+    Vec expected_linear = gat.src_scores(h1);
+    Vec d = gat.dst_scores(h2);
+    float raw = expected_linear[0] + d[0];
+    EXPECT_FLOAT_EQ(s[0], activate(raw, Activation::kLeakyRelu));
+}
+
+TEST(Layer, BaseMessageThrowsForMessagelessLayers)
+{
+    Rng rng(11);
+    EncoderLayer enc(2, 2, rng);
+    GraphSample s = tiny_sample(2, 0);
+    LayerContext ctx = make_layer_context(s);
+    EXPECT_THROW(enc.message({1, 1}, nullptr, 0, 0, 1, ctx),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,139 @@
+/** @file Linear / MLP layer unit tests. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/linear.h"
+#include "tensor/mlp.h"
+#include "tensor/ops.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(Linear, ZeroWeightsYieldBias)
+{
+    Linear lin(3, 2);
+    lin.bias_ref() = {1.0f, -1.0f};
+    Vec y = lin.forward({5, 6, 7});
+    EXPECT_EQ(y, (Vec{1.0f, -1.0f}));
+}
+
+TEST(Linear, KnownMatrixVectorProduct)
+{
+    Linear lin(2, 2);
+    lin.weight()(0, 0) = 1.0f;
+    lin.weight()(0, 1) = 2.0f;
+    lin.weight()(1, 0) = -1.0f;
+    lin.weight()(1, 1) = 0.5f;
+    lin.bias_ref() = {10.0f, 0.0f};
+    Vec y = lin.forward({3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(y[0], 10.0f + 3.0f + 8.0f);
+    EXPECT_FLOAT_EQ(y[1], -3.0f + 2.0f);
+}
+
+TEST(Linear, PartialAccumulateEqualsForward)
+{
+    Rng rng(3);
+    Linear lin(10, 7);
+    lin.init_glorot(rng);
+    Vec x(10);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1, 1));
+
+    // Accumulating in Papply-sized chunks must equal one full pass —
+    // this is the NT unit's correctness contract.
+    for (std::size_t chunk : {1u, 2u, 3u, 4u, 10u}) {
+        Vec acc = lin.bias();
+        for (std::size_t b = 0; b < 10; b += chunk)
+            lin.accumulate(acc, x, b, std::min<std::size_t>(b + chunk, 10));
+        EXPECT_EQ(acc, lin.forward(x)) << "chunk=" << chunk;
+    }
+}
+
+TEST(Linear, DimensionChecks)
+{
+    Linear lin(3, 2);
+    EXPECT_THROW(lin.forward({1, 2}), std::invalid_argument);
+    Vec acc(2, 0.0f);
+    Vec x{1, 2, 3};
+    EXPECT_THROW(lin.accumulate(acc, x, 2, 5), std::invalid_argument);
+    Vec bad_acc(3, 0.0f);
+    EXPECT_THROW(lin.accumulate(bad_acc, x, 0, 3), std::invalid_argument);
+}
+
+TEST(Linear, GlorotBoundsRespectFanInOut)
+{
+    Rng rng(1);
+    Linear lin(50, 50);
+    lin.init_glorot(rng);
+    double limit = std::sqrt(6.0 / 100.0);
+    for (std::size_t o = 0; o < 50; ++o)
+        for (std::size_t i = 0; i < 50; ++i) {
+            EXPECT_LE(lin.weight()(o, i), limit);
+            EXPECT_GE(lin.weight()(o, i), -limit);
+        }
+}
+
+TEST(Linear, GlorotIsSeedDeterministic)
+{
+    Rng a(9), b(9);
+    Linear la(8, 8), lb(8, 8);
+    la.init_glorot(a);
+    lb.init_glorot(b);
+    EXPECT_EQ(la.weight(), lb.weight());
+}
+
+TEST(Linear, MacsCount)
+{
+    EXPECT_EQ(Linear(10, 7).macs(), 70u);
+    EXPECT_EQ(Linear(1, 1).macs(), 1u);
+}
+
+TEST(Mlp, DimsAndLayerCount)
+{
+    Mlp mlp({80, 40, 20, 1});
+    EXPECT_EQ(mlp.num_layers(), 3u);
+    EXPECT_EQ(mlp.in_dim(), 80u);
+    EXPECT_EQ(mlp.out_dim(), 1u);
+    EXPECT_EQ(mlp.macs(), 80u * 40 + 40 * 20 + 20 * 1);
+}
+
+TEST(Mlp, RequiresTwoDims)
+{
+    EXPECT_THROW(Mlp({5}), std::invalid_argument);
+}
+
+TEST(Mlp, SingleLayerEqualsLinear)
+{
+    Rng rng(4);
+    Mlp mlp({6, 3});
+    mlp.init_glorot(rng);
+    Vec x{1, -1, 2, -2, 0.5, 0};
+    EXPECT_EQ(mlp.forward(x), mlp.layer(0).forward(x));
+}
+
+TEST(Mlp, HiddenActivationApplied)
+{
+    // Weights forcing a negative hidden pre-activation: ReLU must zero
+    // it, so the output equals the final bias.
+    Mlp mlp({1, 1, 1}, Activation::kRelu);
+    mlp.layer(0).weight()(0, 0) = -1.0f;
+    mlp.layer(1).weight()(0, 0) = 5.0f;
+    mlp.layer(1).bias_ref() = {2.0f};
+    Vec y = mlp.forward({3.0f});
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+}
+
+TEST(Mlp, FinalActivationOptional)
+{
+    Mlp relu_out({1, 1}, Activation::kRelu, Activation::kRelu);
+    relu_out.layer(0).weight()(0, 0) = -1.0f;
+    EXPECT_FLOAT_EQ(relu_out.forward({2.0f})[0], 0.0f);
+
+    Mlp identity_out({1, 1}, Activation::kRelu, Activation::kIdentity);
+    identity_out.layer(0).weight()(0, 0) = -1.0f;
+    EXPECT_FLOAT_EQ(identity_out.forward({2.0f})[0], -2.0f);
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,128 @@
+/** @file Multiple-virtual-node augmentation and pooling-kind tests. */
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace flowgnn {
+namespace {
+
+GraphSample
+base_sample()
+{
+    Rng rng(5);
+    GraphSample s;
+    s.graph = make_molecule(10, rng);
+    s.node_features = Matrix(10, 4, 0.2f);
+    s.edge_features = Matrix(s.graph.num_edges(), 2, 0.1f);
+    return s;
+}
+
+TEST(MultiVirtualNode, CountZeroIsIdentityStructure)
+{
+    GraphSample s = base_sample();
+    GraphSample same = with_virtual_nodes(s, 0);
+    EXPECT_EQ(same.num_nodes(), s.num_nodes());
+    EXPECT_EQ(same.graph.edges, s.graph.edges);
+}
+
+TEST(MultiVirtualNode, OneMatchesSingleVnHelper)
+{
+    GraphSample s = base_sample();
+    GraphSample a = with_virtual_nodes(s, 1);
+    GraphSample b = with_virtual_node(s);
+    EXPECT_EQ(a.num_nodes(), b.num_nodes());
+    EXPECT_EQ(a.graph.edges, b.graph.edges);
+    EXPECT_EQ(a.pool_nodes(), b.pool_nodes());
+}
+
+TEST(MultiVirtualNode, VirtualNodesNotInterconnected)
+{
+    GraphSample s = base_sample();
+    GraphSample vn3 = with_virtual_nodes(s, 3);
+    ASSERT_EQ(vn3.num_nodes(), 13u);
+    EXPECT_EQ(vn3.pool_nodes(), 10u);
+    // Each VN has exactly 10 in + 10 out edges (to originals only).
+    auto in = vn3.graph.in_degrees();
+    auto out = vn3.graph.out_degrees();
+    for (NodeId v = 10; v < 13; ++v) {
+        EXPECT_EQ(in[v], 10u) << "vn " << v;
+        EXPECT_EQ(out[v], 10u) << "vn " << v;
+    }
+    for (const auto &e : vn3.graph.edges)
+        EXPECT_FALSE(e.src >= 10 && e.dst >= 10)
+            << "virtual nodes must not connect to each other";
+    EXPECT_TRUE(vn3.consistent());
+}
+
+TEST(MultiVirtualNode, EdgeFeatureRowsStayAligned)
+{
+    GraphSample s = base_sample();
+    GraphSample vn2 = with_virtual_nodes(s, 2);
+    ASSERT_EQ(vn2.edge_features.rows(), vn2.num_edges());
+    // Original edge features preserved at the original positions.
+    for (std::size_t e = 0; e < s.num_edges(); ++e)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(vn2.edge_features(e, c), s.edge_features(e, c));
+}
+
+TEST(MultiVirtualNode, DataflowAbsorbsEscalatingImbalance)
+{
+    // Paper Sec. IV: multiple virtual nodes escalate the imbalance;
+    // the pipeline must still complete and match the reference.
+    GraphSample s = base_sample();
+    GraphSample vn4 = with_virtual_nodes(s, 4);
+    Model m = make_model(ModelKind::kGin, 4, 2);
+    EngineConfig cfg;
+    cfg.p_node = 1;
+    RunResult r = Engine(m, cfg).run(vn4);
+    Matrix expected = m.reference_embeddings(m.prepare(vn4));
+    EXPECT_EQ(max_abs_diff(r.embeddings, expected), 0.0f);
+}
+
+TEST(Pooling, MeanSumMaxSemantics)
+{
+    Model m = make_model(ModelKind::kGcn, 4, 0);
+    Matrix emb(3, 100);
+    for (std::size_t c = 0; c < 100; ++c) {
+        emb(0, c) = 1.0f;
+        emb(1, c) = 3.0f;
+        emb(2, c) = -100.0f; // excluded row
+    }
+    m.set_pooling(PoolingKind::kMean);
+    EXPECT_FLOAT_EQ(m.global_pool(emb, 2)[0], 2.0f);
+    m.set_pooling(PoolingKind::kSum);
+    EXPECT_FLOAT_EQ(m.global_pool(emb, 2)[0], 4.0f);
+    m.set_pooling(PoolingKind::kMax);
+    EXPECT_FLOAT_EQ(m.global_pool(emb, 2)[0], 3.0f);
+}
+
+TEST(Pooling, DefaultIsMeanEverywhere)
+{
+    for (ModelKind kind : kPaperModels)
+        EXPECT_EQ(make_model(kind, 4, 0).pooling(), PoolingKind::kMean)
+            << model_name(kind);
+}
+
+TEST(Pooling, EngineHonorsPoolingKind)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 5);
+    Model m = make_model(ModelKind::kGcn, s.node_dim(), s.edge_dim());
+    float mean_pred = Engine(m, {}).run(s).prediction;
+    m.set_pooling(PoolingKind::kSum);
+    float sum_pred = Engine(m, {}).run(s).prediction;
+    EXPECT_NE(mean_pred, sum_pred);
+    EXPECT_EQ(sum_pred, m.predict(s))
+        << "engine and reference must use the same readout";
+}
+
+TEST(Pooling, Names)
+{
+    EXPECT_STREQ(pooling_name(PoolingKind::kMean), "mean");
+    EXPECT_STREQ(pooling_name(PoolingKind::kMax), "max");
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,146 @@
+/** @file Destination-bank partitioning and spectral-field tests. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/spectral.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(Partition, BankCountsSumToEdges)
+{
+    Rng rng(1);
+    CooGraph g = make_erdos_renyi(40, 200, rng);
+    for (std::uint32_t p : {1u, 2u, 3u, 4u, 8u}) {
+        auto counts = bank_edge_counts(g, p);
+        EXPECT_EQ(counts.size(), p);
+        EXPECT_EQ(std::accumulate(counts.begin(), counts.end(),
+                                  std::size_t{0}),
+                  g.num_edges());
+    }
+}
+
+TEST(Partition, BankAssignmentIsDestMod)
+{
+    CooGraph g;
+    g.num_nodes = 6;
+    g.edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {1, 0}};
+    auto counts = bank_edge_counts(g, 2);
+    // dsts 1,3,5 -> bank 1; dsts 2,4,0 -> bank 0.
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 3u);
+}
+
+TEST(Partition, ImbalanceBounds)
+{
+    Rng rng(2);
+    CooGraph g = make_barabasi_albert(300, 2, rng);
+    for (std::uint32_t p : {2u, 4u, 8u, 16u}) {
+        double imb = workload_imbalance(g, p);
+        EXPECT_GE(imb, 0.0);
+        EXPECT_LE(imb, 1.0);
+    }
+}
+
+TEST(Partition, PerfectBalanceIsZero)
+{
+    EXPECT_EQ(workload_imbalance({5, 5, 5, 5}), 0.0);
+}
+
+TEST(Partition, TotalSkewIsOne)
+{
+    EXPECT_EQ(workload_imbalance({10, 0}), 1.0);
+}
+
+TEST(Partition, SingleBankIsBalanced)
+{
+    Rng rng(3);
+    CooGraph g = make_erdos_renyi(10, 20, rng);
+    EXPECT_EQ(workload_imbalance(g, 1), 0.0);
+}
+
+TEST(Partition, EmptyInputsRejectedOrZero)
+{
+    CooGraph g;
+    g.num_nodes = 4;
+    EXPECT_EQ(workload_imbalance(g, 4), 0.0); // no edges
+    EXPECT_THROW(workload_imbalance(std::vector<std::size_t>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(bank_edge_counts(g, 0), std::invalid_argument);
+}
+
+TEST(Fiedler, UnitNormAndZeroMean)
+{
+    Rng rng(4);
+    CooGraph g = make_barabasi_albert(60, 2, rng);
+    Vec u = fiedler_vector(g, rng);
+    double mean = 0.0, norm = 0.0;
+    for (float v : u) {
+        mean += v;
+        norm += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(mean / u.size(), 0.0, 1e-4);
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+}
+
+TEST(Fiedler, PathGraphIsMonotone)
+{
+    // The Fiedler vector of a path is cos(pi k (i + 1/2) / n) with
+    // k=1: strictly monotone along the path.
+    CooGraph g;
+    g.num_nodes = 12;
+    for (NodeId i = 0; i + 1 < 12; ++i) {
+        g.edges.push_back({i, i + 1});
+        g.edges.push_back({i + 1, i});
+    }
+    Rng rng(5);
+    Vec u = fiedler_vector(g, rng, 300);
+    bool increasing = u[1] > u[0];
+    for (std::size_t i = 0; i + 1 < u.size(); ++i) {
+        if (increasing)
+            EXPECT_GT(u[i + 1], u[i]) << "at " << i;
+        else
+            EXPECT_LT(u[i + 1], u[i]) << "at " << i;
+    }
+}
+
+TEST(Fiedler, DisconnectedComponentsSeparateBySign)
+{
+    // Two cliques with no connection: the second Laplacian eigenvector
+    // is piecewise-constant with opposite signs per component.
+    CooGraph g;
+    g.num_nodes = 8;
+    for (NodeId a = 0; a < 4; ++a)
+        for (NodeId b = 0; b < 4; ++b)
+            if (a != b)
+                g.edges.push_back({a, b});
+    for (NodeId a = 4; a < 8; ++a)
+        for (NodeId b = 4; b < 8; ++b)
+            if (a != b)
+                g.edges.push_back({a, b});
+    Rng rng(6);
+    Vec u = fiedler_vector(g, rng, 400);
+    float s0 = u[0] >= 0 ? 1.0f : -1.0f;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GT(u[i] * s0, 0.0f);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_LT(u[i] * s0, 0.0f);
+}
+
+TEST(Fiedler, DegenerateGraphs)
+{
+    Rng rng(7);
+    CooGraph empty;
+    empty.num_nodes = 0;
+    EXPECT_TRUE(fiedler_vector(empty, rng).empty());
+    CooGraph one;
+    one.num_nodes = 1;
+    EXPECT_EQ(fiedler_vector(one, rng).size(), 1u);
+}
+
+} // namespace
+} // namespace flowgnn

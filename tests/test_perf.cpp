@@ -1,0 +1,193 @@
+/** @file CPU/GPU baseline, energy, resource, and comparator tests. */
+#include <gtest/gtest.h>
+
+#include "datasets/dataset.h"
+#include "perf/accelerators.h"
+#include "perf/baselines.h"
+#include "perf/energy.h"
+#include "perf/resources.h"
+
+namespace flowgnn {
+namespace {
+
+GraphSample
+hep()
+{
+    return make_sample(DatasetKind::kHep, 0);
+}
+
+TEST(CpuModel, Batch1LandsNearTableV)
+{
+    // Table V: CPU batch-1 HEP latencies in ms.
+    struct Row {
+        ModelKind kind;
+        double paper_ms;
+    };
+    const Row rows[] = {
+        {ModelKind::kGin, 4.23},  {ModelKind::kGinVn, 5.02},
+        {ModelKind::kGcn, 4.59},  {ModelKind::kGat, 2.24},
+        {ModelKind::kPna, 9.66},  {ModelKind::kDgn, 30.20},
+    };
+    GraphSample s = hep();
+    for (const auto &row : rows) {
+        Model m = make_model(row.kind, s.node_dim(), s.edge_dim());
+        double ms = CpuModel(row.kind).latency_ms(m, m.prepare(s));
+        EXPECT_NEAR(ms, row.paper_ms, row.paper_ms * 0.25)
+            << model_name(row.kind);
+    }
+}
+
+TEST(GpuModel, Batch1LandsNearTableV)
+{
+    struct Row {
+        ModelKind kind;
+        double paper_ms;
+    };
+    const Row rows[] = {
+        {ModelKind::kGin, 2.38},  {ModelKind::kGinVn, 3.51},
+        {ModelKind::kGcn, 3.01},  {ModelKind::kGat, 1.96},
+        {ModelKind::kPna, 5.37},  {ModelKind::kDgn, 61.26},
+    };
+    GraphSample s = hep();
+    for (const auto &row : rows) {
+        Model m = make_model(row.kind, s.node_dim(), s.edge_dim());
+        double ms = GpuModel(row.kind).latency_ms(m, m.prepare(s), 1);
+        EXPECT_NEAR(ms, row.paper_ms, row.paper_ms * 0.30)
+            << model_name(row.kind);
+    }
+}
+
+TEST(GpuModel, PerGraphLatencyImprovesWithBatch)
+{
+    GraphSample s = hep();
+    for (ModelKind kind : kPaperModels) {
+        Model m = make_model(kind, s.node_dim(), s.edge_dim());
+        GpuModel gpu(kind);
+        GraphSample p = m.prepare(s);
+        double prev = gpu.latency_ms(m, p, 1);
+        for (std::uint32_t bs : {4u, 16u, 64u, 256u, 1024u}) {
+            double cur = gpu.latency_ms(m, p, bs);
+            EXPECT_LE(cur, prev) << model_name(kind) << " bs=" << bs;
+            prev = cur;
+        }
+    }
+}
+
+TEST(GpuModel, GatAndDgnStayExpensiveAtLargeBatch)
+{
+    // Fig. 7's key qualitative result: attention/directional models
+    // batch poorly, so the GPU never reaches the sub-0.1ms regime.
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model gat = make_model(ModelKind::kGat, s.node_dim(), s.edge_dim());
+    Model gin = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    double gat_1024 =
+        GpuModel(ModelKind::kGat).latency_ms(gat, gat.prepare(s), 1024);
+    double gin_1024 =
+        GpuModel(ModelKind::kGin).latency_ms(gin, gin.prepare(s), 1024);
+    EXPECT_GT(gat_1024, 0.3);
+    EXPECT_LT(gin_1024, 0.05);
+}
+
+TEST(GpuModel, ZeroBatchRejected)
+{
+    GraphSample s = hep();
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    EXPECT_THROW(GpuModel(ModelKind::kGin).latency_ms(m, s, 0),
+                 std::invalid_argument);
+}
+
+TEST(Energy, PowerOrderingCpuGpuFpga)
+{
+    EXPECT_GT(platform_power_w(Platform::kGpu),
+              platform_power_w(Platform::kCpu));
+    EXPECT_GT(platform_power_w(Platform::kCpu),
+              platform_power_w(Platform::kFpga));
+}
+
+TEST(Energy, GraphsPerKjMath)
+{
+    // 27 W x 0.05 ms = 1.35e-3 J/graph -> ~7.4e5 graphs/kJ.
+    double ee = graphs_per_kj(Platform::kFpga, 0.05);
+    EXPECT_NEAR(ee, 7.41e5, 1e4);
+    EXPECT_NEAR(energy_per_graph_mj(Platform::kFpga, 0.05),
+                27.0 * 0.05, 1e-9);
+    EXPECT_THROW(graphs_per_kj(Platform::kCpu, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(Resources, AllPaperModelsFitU50)
+{
+    EngineConfig cfg; // paper default: 2 NT, 4 MP
+    for (ModelKind kind : kPaperModels) {
+        Model m = make_model(kind, 9, 3);
+        ResourceUsage u = estimate_resources(m, cfg);
+        EXPECT_TRUE(fits_u50(u)) << model_name(kind) << " dsp=" << u.dsp
+                                 << " bram=" << u.bram;
+        EXPECT_GT(u.dsp, 0u);
+        EXPECT_GT(u.bram, 0u);
+    }
+}
+
+TEST(Resources, OrderingMatchesTableIii)
+{
+    EngineConfig cfg;
+    auto dsp = [&](ModelKind k) {
+        Model m = make_model(k, 9, 3);
+        return estimate_resources(m, cfg).dsp;
+    };
+    auto bram = [&](ModelKind k) {
+        Model m = make_model(k, 9, 3);
+        return estimate_resources(m, cfg).bram;
+    };
+    // Table III: PNA & GAT are DSP-heaviest, GCN lightest.
+    EXPECT_GT(dsp(ModelKind::kPna), dsp(ModelKind::kGcn));
+    EXPECT_GT(dsp(ModelKind::kGat), dsp(ModelKind::kGcn));
+    EXPECT_GT(dsp(ModelKind::kGin), dsp(ModelKind::kGcn));
+    // Table III: PNA has by far the largest BRAM (767), GCN near least.
+    EXPECT_GT(bram(ModelKind::kPna), bram(ModelKind::kDgn));
+    EXPECT_GT(bram(ModelKind::kDgn), bram(ModelKind::kGcn));
+}
+
+TEST(Resources, ScaleWithParallelism)
+{
+    Model m = make_model(ModelKind::kGin, 9, 3);
+    EngineConfig small;
+    small.p_node = 1;
+    small.p_edge = 1;
+    small.p_apply = 1;
+    small.p_scatter = 1;
+    EngineConfig big;
+    big.p_node = 4;
+    big.p_edge = 8;
+    big.p_apply = 8;
+    big.p_scatter = 16;
+    EXPECT_LT(estimate_resources(m, small).dsp,
+              estimate_resources(m, big).dsp);
+}
+
+TEST(Accelerators, PublishedTablesComplete)
+{
+    for (DatasetKind d :
+         {DatasetKind::kCora, DatasetKind::kCiteSeer,
+          DatasetKind::kPubMed, DatasetKind::kReddit}) {
+        EXPECT_GT(igcn_published(d).latency_us, 0.0);
+        EXPECT_GT(awbgcn_published(d).latency_us, 0.0);
+        EXPECT_GT(awbgcn_published(d).latency_us,
+                  igcn_published(d).latency_us)
+            << "I-GCN is the stronger baseline on every dataset";
+    }
+    EXPECT_THROW(igcn_published(DatasetKind::kMolHiv),
+                 std::invalid_argument);
+}
+
+TEST(Accelerators, DspNormalizationMatchesPaperExample)
+{
+    // Paper Table VIII Cora row: 6.912 us at 747 DSPs -> 1.261.
+    EXPECT_NEAR(dsp_normalized_latency(6.912, 747), 1.261, 0.01);
+    // And the resulting 1.03x claim vs I-GCN's 1.3.
+    EXPECT_NEAR(normalized_speedup(6.912, 747, 1.3, 4096), 1.03, 0.01);
+    EXPECT_THROW(dsp_normalized_latency(1.0, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,158 @@
+/** @file Fixed-point emulation tests (format math + engine accuracy). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "datasets/dataset.h"
+#include "tensor/fixed_point.h"
+#include "tensor/ops.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(FixedPointFormat, RangeAndUlp)
+{
+    FixedPointFormat q8_4{8, 4};
+    EXPECT_EQ(q8_4.int_bits(), 4);
+    EXPECT_DOUBLE_EQ(q8_4.ulp(), 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(q8_4.max_value(), 8.0 - 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(q8_4.min_value(), -8.0);
+    EXPECT_TRUE(q8_4.valid());
+}
+
+TEST(FixedPointFormat, ValidityChecks)
+{
+    EXPECT_FALSE((FixedPointFormat{1, 0}).valid());
+    EXPECT_FALSE((FixedPointFormat{8, 8}).valid());
+    EXPECT_FALSE((FixedPointFormat{40, 8}).valid());
+    EXPECT_TRUE(kFixed16_10.valid());
+    EXPECT_TRUE(kFixed12_8.valid());
+    EXPECT_TRUE(kFixed8_4.valid());
+}
+
+TEST(FixedPointFormat, Name)
+{
+    char buf[16];
+    EXPECT_STREQ(kFixed16_10.name_into(buf, sizeof buf), "Q16.10");
+}
+
+TEST(Quantize, RepresentableValuesPassThrough)
+{
+    FixedPointFormat q{16, 8};
+    for (float v : {0.0f, 1.0f, -1.0f, 0.25f, 127.5f, -128.0f})
+        EXPECT_EQ(quantize(v, q), v);
+}
+
+TEST(Quantize, RoundsToNearestStep)
+{
+    FixedPointFormat q{8, 2}; // ulp = 0.25
+    EXPECT_FLOAT_EQ(quantize(0.30f, q), 0.25f);
+    EXPECT_FLOAT_EQ(quantize(0.40f, q), 0.50f);
+    EXPECT_FLOAT_EQ(quantize(-0.30f, q), -0.25f);
+}
+
+TEST(Quantize, SaturatesAtRange)
+{
+    FixedPointFormat q{8, 4}; // [-8, 8 - 1/16]
+    EXPECT_FLOAT_EQ(quantize(100.0f, q),
+                    static_cast<float>(q.max_value()));
+    EXPECT_FLOAT_EQ(quantize(-100.0f, q),
+                    static_cast<float>(q.min_value()));
+}
+
+TEST(Quantize, IsIdempotent)
+{
+    FixedPointFormat q{12, 6};
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        float v = static_cast<float>(rng.uniform(-40.0, 40.0));
+        float once = quantize(v, q);
+        EXPECT_EQ(quantize(once, q), once);
+    }
+}
+
+TEST(Quantize, ErrorBoundedByHalfUlp)
+{
+    FixedPointFormat q{16, 10};
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        float v = static_cast<float>(rng.uniform(-10.0, 10.0));
+        EXPECT_LE(std::abs(quantize(v, q) - v), q.ulp() / 2 + 1e-9);
+    }
+}
+
+TEST(Quantize, VectorInPlace)
+{
+    Vec v{0.30f, -0.30f, 100.0f};
+    quantize_inplace(v, FixedPointFormat{8, 2});
+    EXPECT_FLOAT_EQ(v[0], 0.25f);
+    EXPECT_FLOAT_EQ(v[1], -0.25f);
+    EXPECT_FLOAT_EQ(v[2], 31.75f);
+}
+
+class EngineQuantization : public ::testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(EngineQuantization, SixteenBitTracksFloatReference)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 17);
+    Model m = make_model(GetParam(), s.node_dim(), s.edge_dim());
+    EngineConfig cfg;
+    cfg.emulate_fixed_point = true;
+    cfg.fixed_point = kFixed16_10;
+    RunResult r = Engine(m, cfg).run(s);
+    Matrix expected = m.reference_embeddings(m.prepare(s));
+    // ap_fixed<16,6>-style datapath: small but nonzero drift.
+    float diff = max_abs_diff(r.embeddings, expected);
+    EXPECT_LT(diff, 0.75f) << model_name(GetParam());
+    EXPECT_TRUE(std::isfinite(r.prediction));
+}
+
+TEST_P(EngineQuantization, ErrorGrowsAsBitsShrink)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 17);
+    Model m = make_model(GetParam(), s.node_dim(), s.edge_dim());
+    Matrix expected = m.reference_embeddings(m.prepare(s));
+
+    auto error_for = [&](FixedPointFormat fmt) {
+        EngineConfig cfg;
+        cfg.emulate_fixed_point = true;
+        cfg.fixed_point = fmt;
+        return max_abs_diff(Engine(m, cfg).run(s).embeddings, expected);
+    };
+    float e16 = error_for(kFixed16_10);
+    float e8 = error_for(kFixed8_4);
+    EXPECT_LE(e16, e8) << model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, EngineQuantization,
+                         ::testing::Values(ModelKind::kGcn,
+                                           ModelKind::kGin,
+                                           ModelKind::kGat));
+
+TEST(EngineQuantization, TimingUnchangedByQuantization)
+{
+    // Quantization models datapath width, not schedule: cycles match.
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 18);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    EngineConfig fp32;
+    EngineConfig fixed = fp32;
+    fixed.emulate_fixed_point = true;
+    EXPECT_EQ(Engine(m, fp32).run(s).stats.total_cycles,
+              Engine(m, fixed).run(s).stats.total_cycles);
+}
+
+TEST(EngineQuantization, InvalidFormatRejected)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    EngineConfig cfg;
+    cfg.emulate_fixed_point = true;
+    cfg.fixed_point = {8, 8};
+    EXPECT_THROW(Engine(m, cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace flowgnn

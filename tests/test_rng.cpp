@@ -1,0 +1,132 @@
+/** @file Deterministic RNG unit tests. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/rng.h"
+
+namespace flowgnn {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange)
+{
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.uniform_index(10)];
+    for (int c : counts)
+        EXPECT_GT(c, 700); // roughly uniform
+}
+
+TEST(Rng, UniformIndexZeroThrows)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexOneIsAlwaysZero)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsAreStandard)
+{
+    Rng rng(5);
+    const int n = 200000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev)
+{
+    Rng rng(5);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(9);
+    std::vector<std::uint32_t> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleEmptyAndSingletonAreNoops)
+{
+    Rng rng(9);
+    std::vector<std::uint32_t> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<std::uint32_t> one{7};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<std::uint32_t>{7});
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,98 @@
+/** @file GraphSample and virtual-node augmentation tests. */
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/sample.h"
+#include "tensor/rng.h"
+
+namespace flowgnn {
+namespace {
+
+GraphSample
+small_sample()
+{
+    Rng rng(1);
+    GraphSample s;
+    s.graph = make_molecule(6, rng);
+    s.node_features = Matrix(6, 4, 0.5f);
+    s.edge_features = Matrix(s.graph.num_edges(), 2, 0.25f);
+    return s;
+}
+
+TEST(GraphSample, ConsistencyChecks)
+{
+    GraphSample s = small_sample();
+    EXPECT_TRUE(s.consistent());
+    EXPECT_EQ(s.pool_nodes(), 6u);
+
+    GraphSample bad_nodes = s;
+    bad_nodes.node_features = Matrix(5, 4);
+    EXPECT_FALSE(bad_nodes.consistent());
+
+    GraphSample bad_edges = s;
+    bad_edges.edge_features = Matrix(3, 2);
+    EXPECT_FALSE(bad_edges.consistent());
+
+    GraphSample bad_field = s;
+    bad_field.dgn_field = Vec(2, 0.0f);
+    EXPECT_FALSE(bad_field.consistent());
+
+    GraphSample bad_pool = s;
+    bad_pool.num_pool_nodes = 99;
+    EXPECT_FALSE(bad_pool.consistent());
+}
+
+TEST(GraphSample, NoEdgeFeaturesIsConsistent)
+{
+    GraphSample s = small_sample();
+    s.edge_features = Matrix();
+    EXPECT_TRUE(s.consistent());
+    EXPECT_EQ(s.edge_dim(), 0u);
+}
+
+TEST(VirtualNodeSample, PreservesOriginalData)
+{
+    GraphSample s = small_sample();
+    GraphSample vn = with_virtual_node(s);
+    EXPECT_TRUE(vn.consistent());
+    EXPECT_EQ(vn.num_nodes(), 7u);
+    EXPECT_EQ(vn.pool_nodes(), 6u); // VN excluded from pooling
+    EXPECT_EQ(vn.num_edges(), s.num_edges() + 12u);
+    for (NodeId n = 0; n < 6; ++n)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(vn.node_features(n, c), s.node_features(n, c));
+    for (std::size_t e = 0; e < s.num_edges(); ++e)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(vn.edge_features(e, c), s.edge_features(e, c));
+}
+
+TEST(VirtualNodeSample, VirtualRowsAreZero)
+{
+    GraphSample s = small_sample();
+    GraphSample vn = with_virtual_node(s);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(vn.node_features(6, c), 0.0f);
+    for (std::size_t e = s.num_edges(); e < vn.num_edges(); ++e)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(vn.edge_features(e, c), 0.0f);
+}
+
+TEST(VirtualNodeSample, ExtendsDgnField)
+{
+    GraphSample s = small_sample();
+    s.dgn_field = Vec(6, 0.1f);
+    GraphSample vn = with_virtual_node(s);
+    ASSERT_EQ(vn.dgn_field.size(), 7u);
+    EXPECT_EQ(vn.dgn_field[6], 0.0f);
+}
+
+TEST(VirtualNodeSample, DoubleAugmentationKeepsOriginalPool)
+{
+    GraphSample s = small_sample();
+    GraphSample vn2 = with_virtual_node(with_virtual_node(s));
+    EXPECT_EQ(vn2.num_nodes(), 8u);
+    EXPECT_EQ(vn2.pool_nodes(), 6u);
+}
+
+} // namespace
+} // namespace flowgnn

@@ -1,0 +1,121 @@
+/** @file Execution-trace capture and Chrome-export tests. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/trace.h"
+#include "datasets/dataset.h"
+
+namespace flowgnn {
+namespace {
+
+RunStats
+traced_run(ModelKind kind = ModelKind::kGin)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
+    Model m = make_model(kind, s.node_dim(), s.edge_dim());
+    EngineConfig cfg;
+    cfg.capture_trace = true;
+    return Engine(m, cfg).run(s).stats;
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    RunStats st = Engine(m, {}).run(s).stats;
+    EXPECT_TRUE(st.trace.empty());
+}
+
+TEST(Trace, CapturesAllThreeEventKinds)
+{
+    RunStats st = traced_run();
+    EXPECT_FALSE(st.trace.empty());
+    bool acc = false, out = false, mp = false;
+    for (const auto &e : st.trace) {
+        acc |= (e.kind == TraceKind::kNtAccumulate);
+        out |= (e.kind == TraceKind::kNtOutput);
+        mp |= (e.kind == TraceKind::kMpWork);
+    }
+    EXPECT_TRUE(acc);
+    EXPECT_TRUE(out);
+    EXPECT_TRUE(mp);
+}
+
+TEST(Trace, EventsWellFormedAndWithinRun)
+{
+    RunStats st = traced_run();
+    for (const auto &e : st.trace) {
+        EXPECT_LT(e.start, e.end);
+        EXPECT_LE(e.end, st.total_cycles);
+    }
+}
+
+TEST(Trace, PerUnitIntervalsDoNotOverlap)
+{
+    RunStats st = traced_run();
+    // Group by (kind-class, unit): accumulate vs output can overlap on
+    // one NT unit (ping-pong), but two accumulates cannot.
+    std::map<std::pair<int, std::uint32_t>, std::vector<TraceEvent>>
+        lanes;
+    for (const auto &e : st.trace)
+        lanes[{static_cast<int>(e.kind), e.unit}].push_back(e);
+    for (auto &[key, events] : lanes) {
+        std::sort(events.begin(), events.end(),
+                  [](const TraceEvent &a, const TraceEvent &b) {
+                      return a.start < b.start;
+                  });
+        for (std::size_t i = 1; i < events.size(); ++i)
+            EXPECT_GE(events[i].start, events[i - 1].end)
+                << "lane kind=" << key.first << " unit=" << key.second;
+    }
+}
+
+TEST(Trace, EveryNodeAccumulatedEveryPhase)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
+    Model m = make_model(ModelKind::kGcn, s.node_dim(), s.edge_dim());
+    EngineConfig cfg;
+    cfg.capture_trace = true;
+    RunStats st = Engine(m, cfg).run(s).stats;
+    std::size_t acc_events = 0;
+    for (const auto &e : st.trace)
+        acc_events += (e.kind == TraceKind::kNtAccumulate);
+    // 6 stages (encoder + 5 convs), every node accumulated once each.
+    EXPECT_EQ(acc_events, std::size_t(s.num_nodes()) * 6);
+}
+
+TEST(Trace, ChromeExportIsValidJsonArray)
+{
+    RunStats st = traced_run();
+    std::ostringstream os;
+    write_chrome_trace(os, st.trace);
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("nt-accumulate"), std::string::npos);
+    EXPECT_NE(json.find("mp-work"), std::string::npos);
+    // Balanced braces: every event object closes.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, EmptyTraceExportsEmptyArray)
+{
+    std::ostringstream os;
+    write_chrome_trace(os, {});
+    EXPECT_EQ(os.str(), "[\n\n]\n");
+}
+
+TEST(Trace, KindNames)
+{
+    EXPECT_STREQ(trace_kind_name(TraceKind::kNtAccumulate),
+                 "nt-accumulate");
+    EXPECT_STREQ(trace_kind_name(TraceKind::kMpWork), "mp-work");
+}
+
+} // namespace
+} // namespace flowgnn
