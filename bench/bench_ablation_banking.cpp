@@ -23,8 +23,7 @@ avg_latency(const Model &model, DatasetKind dataset, std::size_t count,
 {
     EngineConfig cfg;
     cfg.bank_policy = policy;
-    Engine engine(model, cfg);
-    return bench::run_stream(engine, dataset, count).avg_latency_ms;
+    return bench::run_stream(model, cfg, dataset, count).avg_latency_ms;
 }
 
 } // namespace

@@ -10,7 +10,7 @@
  * cross-graph streaming throughput (StreamRunner) at each depth.
  */
 #include "bench_common.h"
-#include "core/stream.h"
+#include "serve/stream.h"
 
 using namespace flowgnn;
 
@@ -46,14 +46,19 @@ main()
         for (std::size_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
             EngineConfig cfg;
             cfg.queue_depth = depth;
-            Engine engine(model, cfg);
+            InferenceService service(model, cfg);
+
+            SampleStream stream(c.dataset, c.graphs);
+            std::vector<std::future<RunResult>> futures;
+            futures.reserve(stream.size());
+            for (std::size_t i = 0; i < stream.size(); ++i)
+                futures.push_back(service.submit(stream.next()));
 
             double stalls = 0.0;
             std::size_t peak = 0;
-            SampleStream stream(c.dataset, c.graphs);
             double latency = 0.0;
-            for (std::size_t i = 0; i < stream.size(); ++i) {
-                RunResult r = engine.run(stream.next());
+            for (auto &future : futures) {
+                RunResult r = future.get();
                 latency += r.latency_ms();
                 stalls +=
                     static_cast<double>(r.stats.adapter_stall_cycles);
@@ -62,7 +67,7 @@ main()
             latency /= c.graphs;
             stalls /= c.graphs;
 
-            StreamRunner runner(engine);
+            StreamRunner runner(service);
             SampleStream stream2(c.dataset, c.graphs);
             StreamRunStats st = runner.run(stream2, c.graphs);
 

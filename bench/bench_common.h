@@ -9,11 +9,12 @@
 #define FLOWGNN_BENCH_COMMON_H
 
 #include <cstdio>
+#include <future>
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
 #include "datasets/dataset.h"
+#include "serve/service.h"
 
 namespace flowgnn::bench {
 
@@ -27,19 +28,29 @@ struct StreamResult {
 
 /**
  * Streams `count` consecutive graphs (batch size 1, zero
- * pre-processing) through the engine and averages latency, mirroring
- * the paper's on-board measurement loop.
+ * pre-processing) through an InferenceService over the given
+ * configuration and averages latency, mirroring the paper's on-board
+ * measurement loop. The modeled cycle counts are per-graph
+ * deterministic, so the averages are independent of replica count.
  */
 inline StreamResult
-run_stream(const Engine &engine, DatasetKind dataset, std::size_t count)
+run_stream(const Model &model, const EngineConfig &config,
+           DatasetKind dataset, std::size_t count)
 {
     SampleStream stream(dataset, count);
     StreamResult out;
     out.graphs = stream.size();
+
+    InferenceService service(model, config);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(out.graphs);
+    for (std::size_t i = 0; i < out.graphs; ++i)
+        futures.push_back(service.submit(stream.next()));
+
     double imb = 0.0;
-    for (std::size_t i = 0; i < out.graphs; ++i) {
-        RunResult r = engine.run(stream.next());
-        out.avg_latency_ms += r.latency_ms(engine.config().clock_mhz);
+    for (auto &future : futures) {
+        RunResult r = future.get();
+        out.avg_latency_ms += r.latency_ms();
         out.avg_cycles += static_cast<double>(r.stats.total_cycles);
         imb += r.stats.observed_mp_imbalance();
     }

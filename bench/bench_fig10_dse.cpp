@@ -30,8 +30,7 @@ main()
         c.p_edge = pe;
         c.p_apply = pa;
         c.p_scatter = ps;
-        Engine engine(gcn, c);
-        return bench::run_stream(engine, DatasetKind::kMolHiv, kGraphs)
+        return bench::run_stream(gcn, c, DatasetKind::kMolHiv, kGraphs)
             .avg_cycles;
     };
 

@@ -46,9 +46,8 @@ run_dataset(DatasetKind dataset, std::size_t graphs)
     for (ModelKind kind : kPaperModels) {
         Model model =
             make_model(kind, probe.node_dim(), probe.edge_dim());
-        Engine engine(model, {});
-        bench::StreamResult fg = bench::run_stream(engine, dataset,
-                                                   graphs);
+        bench::StreamResult fg =
+            bench::run_stream(model, {}, dataset, graphs);
         GraphSample prepared = model.prepare(probe);
         CpuModel cpu(kind);
         GpuModel gpu(kind);

@@ -66,9 +66,8 @@ main()
     bench::rule(66);
     double prev_cycles = 0.0;
     for (const auto &v : variants) {
-        Engine engine(gcn, v.config);
-        bench::StreamResult r =
-            bench::run_stream(engine, DatasetKind::kMolHiv, kGraphs);
+        bench::StreamResult r = bench::run_stream(
+            gcn, v.config, DatasetKind::kMolHiv, kGraphs);
         if (base_cycles == 0.0)
             base_cycles = r.avg_cycles;
         double speedup = base_cycles / r.avg_cycles;

@@ -28,20 +28,30 @@ Drift
 measure_drift(const Model &model, FixedPointFormat fmt,
               std::size_t graphs)
 {
-    EngineConfig cfg;
-    cfg.emulate_fixed_point = true;
-    cfg.fixed_point = fmt;
-    Engine engine(model, cfg);
+    // Fixed-point emulation is a per-run option: the same service
+    // replicas would serve fp32 requests unchanged.
+    RunOptions opts;
+    opts.emulate_fixed_point = true;
+    opts.fixed_point = fmt;
+
+    InferenceService service(model);
+    SampleStream stream(DatasetKind::kMolHiv, graphs);
+    std::vector<GraphSample> samples;
+    std::vector<std::future<RunResult>> futures;
+    samples.reserve(stream.size());
+    futures.reserve(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        samples.push_back(stream.next());
+        futures.push_back(service.submit(samples.back(), opts));
+    }
 
     Drift drift;
     double sum = 0.0;
     std::size_t count = 0;
-    SampleStream stream(DatasetKind::kMolHiv, graphs);
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-        GraphSample s = stream.next();
-        Matrix quantized = engine.run(s).embeddings;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        Matrix quantized = futures[i].get().embeddings;
         Matrix reference =
-            model.reference_embeddings(model.prepare(s));
+            model.reference_embeddings(model.prepare(samples[i]));
         for (std::size_t k = 0; k < quantized.size(); ++k) {
             double d = std::abs(quantized.data()[k] -
                                 reference.data()[k]);

@@ -46,9 +46,8 @@ main()
     for (const auto &row : kPaper) {
         Model model =
             make_model(row.kind, probe.node_dim(), probe.edge_dim());
-        Engine engine(model, {});
         bench::StreamResult fg =
-            bench::run_stream(engine, DatasetKind::kHep, kGraphs);
+            bench::run_stream(model, {}, DatasetKind::kHep, kGraphs);
 
         GraphSample prepared = model.prepare(probe);
         double cpu = CpuModel(row.kind).latency_ms(model, prepared);

@@ -7,7 +7,8 @@
  * deployment (e.g. the HEP trigger) actually provisions against.
  */
 #include "bench_common.h"
-#include "core/stream.h"
+#include "serve/stream.h"
+#include "serve/service.h"
 
 using namespace flowgnn;
 
@@ -38,8 +39,8 @@ main()
         for (ModelKind kind : kPaperModels) {
             Model model =
                 make_model(kind, probe.node_dim(), probe.edge_dim());
-            Engine engine(model, {});
-            StreamRunner runner(engine);
+            InferenceService service(model);
+            StreamRunner runner(service);
             SampleStream stream(c.dataset, c.graphs);
             StreamRunStats st = runner.run(stream, c.graphs);
             std::printf("%-7s | %14.4f | %14.0f | %11.3fx | %10zu\n",

@@ -2,14 +2,15 @@
  * @file
  * flowgnn_cli — command-line driver for the accelerator simulator.
  *
- * Runs any model on any dataset with a chosen parallelism
- * configuration and prints latency, utilization, and throughput; with
- * --dse it instead searches for the fastest configuration that fits
- * the Alveo U50.
+ * Spins up a flowgnn::serve InferenceService (N engine replicas
+ * behind a bounded queue), streams graphs through it, and prints
+ * latency, utilization, and service telemetry; with --dse it instead
+ * searches for the fastest configuration that fits the Alveo U50.
  *
  * Examples:
  *   flowgnn_cli --model gin --dataset molhiv --graphs 100
  *   flowgnn_cli --model gat --dataset hep --pnode 4 --pedge 8
+ *   flowgnn_cli --model gcn --dataset molhiv --replicas 4
  *   flowgnn_cli --model pna --dataset molhiv --dse
  */
 #include <cstdio>
@@ -17,11 +18,13 @@
 #include <string>
 
 #include <fstream>
+#include <future>
+#include <vector>
 
-#include "core/engine.h"
-#include "core/stream.h"
+#include "serve/stream.h"
 #include "core/trace.h"
 #include "perf/dse.h"
+#include "serve/service.h"
 
 using namespace flowgnn;
 
@@ -32,6 +35,7 @@ struct CliOptions {
     DatasetKind dataset = DatasetKind::kMolHiv;
     std::size_t graphs = 32;
     EngineConfig config;
+    ServiceConfig service;
     bool run_dse = false;
     bool balanced_banks = false;
     std::string trace_path;
@@ -48,6 +52,8 @@ usage(const char *argv0)
         "  --pnode/--pedge/--papply/--pscatter N\n"
         "  --mode <flowgnn|baseline|fixed|nonpipelined>\n"
         "  --queue-depth N     adapter FIFO depth (default 8)\n"
+        "  --replicas N        service engine replicas (default 2)\n"
+        "  --queue-capacity N  service submission queue (default 64)\n"
         "  --balanced-banks    greedy-balanced MP banking ablation\n"
         "  --trace FILE        write a Chrome trace of the first graph\n"
         "  --dse               search the best U50-fitting config\n",
@@ -125,6 +131,10 @@ parse_args(int argc, char **argv)
             opt.config.mode = parse_mode(next(), argv[0]);
         } else if (arg == "--queue-depth") {
             opt.config.queue_depth = std::stoul(next());
+        } else if (arg == "--replicas") {
+            opt.service.replicas = std::stoul(next());
+        } else if (arg == "--queue-capacity") {
+            opt.service.queue_capacity = std::stoul(next());
         } else if (arg == "--balanced-banks") {
             opt.balanced_banks = true;
         } else if (arg == "--trace") {
@@ -174,21 +184,17 @@ run_dse(const CliOptions &opt)
 } // namespace
 
 int
-main(int argc, char **argv)
+run_service(const CliOptions &opt)
 {
-    CliOptions opt = parse_args(argc, argv);
-    if (opt.run_dse)
-        return run_dse(opt);
-
     GraphSample probe = make_sample(opt.dataset, 0);
     Model model =
         make_model(opt.model, probe.node_dim(), probe.edge_dim());
-    if (!opt.trace_path.empty())
-        opt.config.capture_trace = true;
-    Engine engine(model, opt.config);
+    InferenceService service(model, opt.config, opt.service);
 
     if (!opt.trace_path.empty()) {
-        RunResult r = engine.run(probe);
+        RunOptions trace_opts;
+        trace_opts.capture_trace = true;
+        RunResult r = service.submit(probe, trace_opts).get();
         std::ofstream os(opt.trace_path);
         write_chrome_trace(os, r.stats.trace, opt.config.clock_mhz);
         std::printf("Chrome trace of graph 0 (%zu events) written to "
@@ -197,17 +203,23 @@ main(int argc, char **argv)
     }
 
     std::printf("%s on %s, %s, Pnode=%u Pedge=%u Papply=%u Pscatter=%u, "
-                "queue depth %zu\n",
+                "queue depth %zu, %zu replicas\n",
                 model_name(opt.model), dataset_spec(opt.dataset).name,
                 pipeline_mode_name(opt.config.mode), opt.config.p_node,
                 opt.config.p_edge, opt.config.p_apply,
-                opt.config.p_scatter, opt.config.queue_depth);
+                opt.config.p_scatter, opt.config.queue_depth,
+                service.replica_count());
 
     SampleStream stream(opt.dataset, opt.graphs);
     std::size_t count = std::max<std::size_t>(stream.size(), 1);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(service.submit(stream.next()));
+
     double latency = 0.0, nt_util = 0.0, mp_util = 0.0, imb = 0.0;
-    for (std::size_t i = 0; i < count; ++i) {
-        RunResult r = engine.run(stream.next());
+    for (auto &future : futures) {
+        RunResult r = future.get();
         latency += r.latency_ms();
         double nu = 0.0, mu = 0.0;
         for (const auto &u : r.stats.nt_units)
@@ -228,12 +240,39 @@ main(int argc, char **argv)
                 100.0 * mp_util / count);
     std::printf("Avg MP imbalance:     %.2f%%\n", 100.0 * imb / count);
 
-    StreamRunner runner(engine);
+    StreamRunner runner(service);
     SampleStream stream2(opt.dataset, opt.graphs);
     StreamRunStats st = runner.run(stream2, count);
     std::printf("Stream throughput:    %.0f graphs/s (load/compute "
                 "overlap %.2fx)\n",
                 st.graphs_per_second(opt.config.clock_mhz),
                 st.throughput_speedup());
+
+    ServiceStats svc = service.stats();
+    std::printf("\nService: %zu submitted, %zu completed, %zu rejected; "
+                "host throughput %.0f graphs/s\n",
+                svc.submitted, svc.completed, svc.rejected,
+                svc.throughput_gps);
+    std::printf("Service latency:      p50 %.3f ms | p95 %.3f ms | "
+                "p99 %.3f ms (wall, submit->done)\n",
+                svc.p50_ms, svc.p95_ms, svc.p99_ms);
+    std::printf("Submission queue:     peak %zu / %zu\n",
+                svc.queue_peak_occupancy, svc.queue_capacity);
+    for (std::size_t r = 0; r < svc.replicas.size(); ++r)
+        std::printf("Replica %zu:            %zu graphs, %.1f%% busy\n",
+                    r, svc.replicas[r].completed,
+                    100.0 * svc.replicas[r].utilization);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opt = parse_args(argc, argv);
+    try {
+        return opt.run_dse ? run_dse(opt) : run_service(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -5,16 +5,17 @@
  * Collision events arrive as kNN particle-cloud graphs that must be
  * classified one at a time (batch size 1) under a hard latency budget
  * — overrunning the budget overflows the detector buffers and loses
- * data. This example streams 500 HEP events through a GIN accelerator,
- * tracks the latency distribution, and reports how many events met a
- * 0.2 ms trigger deadline.
+ * data. This example streams 500 HEP events through a two-replica
+ * GIN inference service, tracks the latency distribution, and reports
+ * how many events met a 0.2 ms trigger deadline.
  */
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <vector>
 
-#include "core/engine.h"
 #include "datasets/dataset.h"
+#include "serve/service.h"
 
 using namespace flowgnn;
 
@@ -27,18 +28,23 @@ main()
     GraphSample probe = make_sample(DatasetKind::kHep, 0);
     Model model =
         make_model(ModelKind::kGin, probe.node_dim(), probe.edge_dim());
-    Engine engine(model, EngineConfig{});
+    InferenceService service(model);
 
     std::printf("Streaming %zu HEP events (kNN graphs, k=16) through "
-                "GIN at batch size 1...\n",
-                kEvents);
+                "GIN at batch size 1 (%zu replicas)...\n",
+                kEvents, service.replica_count());
 
     SampleStream stream(DatasetKind::kHep, kEvents);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(kEvents);
+    for (std::size_t i = 0; i < kEvents; ++i)
+        futures.push_back(service.submit(stream.next()));
+
     std::vector<double> latencies;
     latencies.reserve(kEvents);
     std::size_t accepted = 0, met_deadline = 0;
-    for (std::size_t i = 0; i < kEvents; ++i) {
-        RunResult r = engine.run(stream.next());
+    for (auto &future : futures) {
+        RunResult r = future.get();
         double ms = r.latency_ms();
         latencies.push_back(ms);
         if (ms <= kDeadlineMs)

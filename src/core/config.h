@@ -40,7 +40,10 @@ enum class BankPolicy {
 };
 
 /**
- * FlowGNN engine configuration.
+ * FlowGNN engine configuration: the construction-time hardware shape
+ * of one accelerator instance. Per-run behaviour (trace capture,
+ * fixed-point emulation) lives in RunOptions instead, so one engine
+ * replica can serve heterogeneous requests.
  *
  * Defaults follow the paper: 2 NT units and 4 MP units (Sec. VI-A),
  * with the best DSE point's dimension parallelism (Fig. 10).
@@ -54,19 +57,6 @@ struct EngineConfig {
     BankPolicy bank_policy = BankPolicy::kModulo;
     std::size_t queue_depth = 8; ///< adapter-to-MP FIFO depth (entries)
     double clock_mhz = 300.0;    ///< paper's U50 kernel clock
-    /**
-     * Emulate the HLS kernel's fixed-point datapath: node embeddings,
-     * messages, and message-buffer state are quantized to fixed_point
-     * after every operation. Off by default (fp32, matching the
-     * reference executor exactly).
-     */
-    bool emulate_fixed_point = false;
-    FixedPointFormat fixed_point = kFixed16_10;
-    /**
-     * Record per-unit busy intervals into RunStats::trace (queue-based
-     * pipeline modes only). Export with write_chrome_trace().
-     */
-    bool capture_trace = false;
 
     /** Throws std::invalid_argument on a malformed configuration. */
     void
@@ -81,13 +71,40 @@ struct EngineConfig {
         if (clock_mhz <= 0.0)
             throw std::invalid_argument(
                 "EngineConfig: clock must be positive");
-        if (emulate_fixed_point && !fixed_point.valid())
-            throw std::invalid_argument(
-                "EngineConfig: invalid fixed-point format");
     }
 
     /** "FlowGNN-<Papply>-<Pscatter>" label used by the ablation plots. */
     std::string label() const;
+};
+
+/**
+ * Per-run options: everything that may differ between two graphs run
+ * on the same engine instance. Split out of EngineConfig so services
+ * can decide these per request rather than per replica.
+ */
+struct RunOptions {
+    /**
+     * Record per-unit busy intervals into RunStats::trace (queue-based
+     * pipeline modes only). Export with write_chrome_trace().
+     */
+    bool capture_trace = false;
+    /**
+     * Emulate the HLS kernel's fixed-point datapath: node embeddings,
+     * messages, and message-buffer state are quantized to fixed_point
+     * after every operation. Off by default (fp32, matching the
+     * reference executor exactly).
+     */
+    bool emulate_fixed_point = false;
+    FixedPointFormat fixed_point = kFixed16_10;
+
+    /** Throws std::invalid_argument on malformed options. */
+    void
+    validate() const
+    {
+        if (emulate_fixed_point && !fixed_point.valid())
+            throw std::invalid_argument(
+                "RunOptions: invalid fixed-point format");
+    }
 };
 
 } // namespace flowgnn

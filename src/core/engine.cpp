@@ -39,8 +39,9 @@ struct BankWork {
  */
 struct PhaseWork {
     NodeId n_nodes = 0;
-    /** NT accumulate cycles per node (all input-stationary passes). */
-    std::vector<std::uint64_t> acc_cycles;
+    /** NT accumulate cycles per node (all input-stationary passes);
+     * storage lives in the run's workspace. */
+    const std::vector<std::uint64_t> *acc_cycles = nullptr;
     /** Elements streamed out per node (the stage's output dim). */
     std::uint32_t stream_elems = 0;
     bool has_scatter = false;
@@ -100,6 +101,7 @@ struct MpUnitState {
 struct PhaseEnv {
     const PhaseWork &work;
     const EngineConfig &cfg;
+    const RunOptions &opts;
     RunStats &stats;
     std::uint64_t base_cycle = 0; ///< absolute offset for trace events
 };
@@ -151,7 +153,7 @@ simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
     // Generous livelock guard: every unit of work costs >= 1 cycle.
     std::uint64_t work_bound = 1000000;
     for (NodeId n = 0; n < w.n_nodes; ++n) {
-        work_bound += w.acc_cycles[n] + w.stream_elems;
+        work_bound += (*w.acc_cycles)[n] + w.stream_elems;
         if (w.has_scatter)
             for (const auto &bw : (*w.banks)[n])
                 work_bound +=
@@ -159,7 +161,7 @@ simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
     }
     work_bound = work_bound * 4 + 1000000;
 
-    const bool tracing = cfg.capture_trace;
+    const bool tracing = env.opts.capture_trace;
     auto emit = [&](TraceKind kind, std::uint32_t unit, NodeId node,
                     std::uint64_t start, std::uint64_t end) {
         if (tracing && end > start)
@@ -368,7 +370,7 @@ simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
             if (!unit.acc_active && !unit.pong_full &&
                 unit.next < unit.nodes.size()) {
                 unit.acc_node = unit.nodes[unit.next++];
-                std::uint64_t c = w.acc_cycles[unit.acc_node];
+                std::uint64_t c = (*w.acc_cycles)[unit.acc_node];
                 if (c == 0) {
                     // Zero-cost accumulate (e.g. the re-stream round of
                     // GAT): complete immediately into the pong slot.
@@ -401,7 +403,7 @@ simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
 std::uint64_t
 analytic_nt_cycles(const PhaseWork &w, const EngineConfig &cfg, NodeId n)
 {
-    return w.acc_cycles[n] + ceil_div(w.stream_elems, cfg.p_apply);
+    return (*w.acc_cycles)[n] + ceil_div(w.stream_elems, cfg.p_apply);
 }
 
 /** Per-node MP cost on the unit owning `bank` work. */
@@ -536,6 +538,28 @@ run_phase(const PhaseEnv &env)
 
 } // namespace
 
+/**
+ * Graph-sized scratch buffers reused across runs. Buffers are resized
+ * (never shrunk) per graph, so a steady-state replica serving a stream
+ * of similar graphs stops allocating in the run loop.
+ */
+struct RunWorkspace::Impl {
+    std::vector<std::uint32_t> bank_of;
+    std::vector<std::uint32_t> bank_count;
+    std::vector<std::vector<BankWork>> banks;
+    std::vector<std::uint64_t> acc_cycles;
+    std::vector<std::uint64_t> acc_zero;
+    std::vector<Vec> cur;
+    std::vector<Vec> out;
+    std::vector<float> prev_state;
+    std::vector<float> next_state;
+};
+
+RunWorkspace::RunWorkspace() : impl_(std::make_unique<Impl>()) {}
+RunWorkspace::~RunWorkspace() = default;
+RunWorkspace::RunWorkspace(RunWorkspace &&) noexcept = default;
+RunWorkspace &RunWorkspace::operator=(RunWorkspace &&) noexcept = default;
+
 Engine::Engine(const Model &model, EngineConfig config)
     : model_(model), config_(config)
 {
@@ -545,7 +569,24 @@ Engine::Engine(const Model &model, EngineConfig config)
 RunResult
 Engine::run(const GraphSample &sample) const
 {
+    RunWorkspace ws;
+    return run(sample, RunOptions{}, ws);
+}
+
+RunResult
+Engine::run(const GraphSample &sample, const RunOptions &opts) const
+{
+    RunWorkspace ws;
+    return run(sample, opts, ws);
+}
+
+RunResult
+Engine::run(const GraphSample &sample, const RunOptions &opts,
+            RunWorkspace &ws) const
+{
+    opts.validate();
     const EngineConfig &cfg = config_;
+    RunWorkspace::Impl &wsi = *ws.impl_;
     GraphSample prepared = model_.prepare(sample);
     if (!prepared.consistent())
         throw std::invalid_argument("Engine: inconsistent sample");
@@ -556,7 +597,7 @@ Engine::run(const GraphSample &sample) const
 
     // Destination-node -> MP-bank map. Modulo is the on-the-fly
     // default; greedy balancing is the pre-processing ablation.
-    std::vector<std::uint32_t> bank_of;
+    std::vector<std::uint32_t> &bank_of = wsi.bank_of;
     if (cfg.bank_policy == BankPolicy::kGreedyBalanced) {
         bank_of = balanced_bank_assignment(prepared.graph, cfg.p_edge);
     } else {
@@ -567,10 +608,14 @@ Engine::run(const GraphSample &sample) const
 
     // Per-node destination-bank split, computed on the fly from the
     // streamed edge list, shared across phases.
-    std::vector<std::vector<BankWork>> banks(n_nodes);
+    std::vector<std::vector<BankWork>> &banks = wsi.banks;
+    if (banks.size() < n_nodes)
+        banks.resize(n_nodes);
     {
-        std::vector<std::uint32_t> count(cfg.p_edge);
+        std::vector<std::uint32_t> &count = wsi.bank_count;
+        count.assign(cfg.p_edge, 0);
         for (NodeId n = 0; n < n_nodes; ++n) {
+            banks[n].clear();
             std::fill(count.begin(), count.end(), 0);
             for (std::size_t s = csr.row_begin(n); s < csr.row_end(n); ++s)
                 ++count[bank_of[csr.dst(s)]];
@@ -582,6 +627,7 @@ Engine::run(const GraphSample &sample) const
 
     RunResult result;
     RunStats &stats = result.stats;
+    stats.clock_mhz = cfg.clock_mhz;
     stats.nt_units.assign(cfg.p_node, {});
     stats.mp_units.assign(cfg.p_edge, {});
     stats.mp_edge_work.assign(cfg.p_edge, 0);
@@ -596,18 +642,20 @@ Engine::run(const GraphSample &sample) const
         64);
 
     // ---- Functional state ----
-    const bool quant = cfg.emulate_fixed_point;
-    const FixedPointFormat &fmt = cfg.fixed_point;
-    std::vector<Vec> cur(n_nodes);
+    const bool quant = opts.emulate_fixed_point;
+    const FixedPointFormat &fmt = opts.fixed_point;
+    std::vector<Vec> &cur = wsi.cur;
+    std::vector<Vec> &out = wsi.out;
+    cur.resize(n_nodes);
+    out.resize(n_nodes);
     for (NodeId i = 0; i < n_nodes; ++i) {
         cur[i] = prepared.node_features.row_vec(i);
         if (quant)
             quantize_inplace(cur[i], fmt);
     }
-    std::vector<Vec> out(n_nodes);
 
     Aggregator prev_agg;        // aggregator of messages consumed now
-    std::vector<float> prev_state;
+    std::vector<float> &prev_state = wsi.prev_state;
     bool have_prev_agg = false;
 
     const GatLayer *pending_gat = nullptr; // 'cur' holds projections
@@ -626,8 +674,8 @@ Engine::run(const GraphSample &sample) const
                  ++s)
                 nbrs.push_back(&cur[csc->src(s)]);
             combined[i] = gat_combine(*pending_gat, cur[i], nbrs);
-            if (cfg.emulate_fixed_point)
-                quantize_inplace(combined[i], cfg.fixed_point);
+            if (quant)
+                quantize_inplace(combined[i], fmt);
         }
         cur = std::move(combined);
         pending_gat = nullptr;
@@ -678,14 +726,15 @@ Engine::run(const GraphSample &sample) const
         w.n_nodes = n_nodes;
         w.stream_elems = static_cast<std::uint32_t>(stage.out_dim());
         w.banks = &banks;
-        w.acc_cycles.resize(n_nodes);
         std::uint64_t acc = prologue_pass + finalize_pass;
         for (std::size_t d : stage.nt_pass_dims())
             acc += ceil_div(d, cfg.p_apply);
-        std::fill(w.acc_cycles.begin(), w.acc_cycles.end(), acc);
+        wsi.acc_cycles.assign(n_nodes, acc);
+        w.acc_cycles = &wsi.acc_cycles;
 
         Aggregator next_agg;
-        std::vector<float> next_state;
+        std::vector<float> &next_state = wsi.next_state;
+        next_state.clear();
         if (scatter_stage != nullptr && !is_gat) {
             w.has_scatter = true;
             next_agg = scatter_stage->aggregator();
@@ -754,16 +803,17 @@ Engine::run(const GraphSample &sample) const
         }
 
         // ---- Timing: run the phase (GAT gathers need two rounds) ----
-        PhaseEnv env{w, cfg, stats, phase_base};
+        PhaseEnv env{w, cfg, opts, stats, phase_base};
         std::uint64_t cycles = run_phase(env);
         if (is_gat) {
             // Round 2: re-stream the projections from the node buffer
             // (no recomputation) for the weighted sum.
             PhaseWork w2 = w;
-            std::fill(w2.acc_cycles.begin(), w2.acc_cycles.end(), 0);
+            wsi.acc_zero.assign(n_nodes, 0);
+            w2.acc_cycles = &wsi.acc_zero;
             w2.on_nt_complete = nullptr;
             w2.on_mp_complete = nullptr;
-            PhaseEnv env2{w2, cfg, stats, phase_base + cycles};
+            PhaseEnv env2{w2, cfg, opts, stats, phase_base + cycles};
             cycles += run_phase(env2);
         }
         phase_base += cycles;
@@ -771,14 +821,17 @@ Engine::run(const GraphSample &sample) const
         stats.total_cycles += cycles;
 
         // ---- Commit functional state ----
-        cur = std::move(out);
-        out.assign(n_nodes, Vec());
+        // Swap instead of move-assign: the displaced buffers stay in
+        // the workspace and their element capacity is reused next
+        // stage / next run (every node's slot is overwritten before
+        // it is read again).
+        std::swap(cur, out);
         if (is_gat) {
             pending_gat = gat;
             have_prev_agg = false;
         } else if (w.has_scatter) {
             prev_agg = next_agg;
-            prev_state = std::move(next_state);
+            std::swap(prev_state, next_state);
             have_prev_agg = true;
         } else {
             have_prev_agg = false;

@@ -21,6 +21,8 @@
 #ifndef FLOWGNN_CORE_ENGINE_H
 #define FLOWGNN_CORE_ENGINE_H
 
+#include <memory>
+
 #include "core/config.h"
 #include "core/stats.h"
 #include "graph/sample.h"
@@ -37,11 +39,42 @@ struct RunResult {
     /** Timing and utilization statistics. */
     RunStats stats;
 
+    /** Wall latency at the clock the engine was configured with. */
     double
-    latency_ms(double clock_mhz = 300.0) const
+    latency_ms() const
     {
-        return stats.latency_ms(clock_mhz);
+        return stats.latency_ms();
     }
+
+    /** Wall latency at an explicit what-if clock. */
+    double
+    latency_ms(double at_clock_mhz) const
+    {
+        return stats.latency_ms(at_clock_mhz);
+    }
+};
+
+/**
+ * Reusable per-run scratch memory. A workspace keeps the graph-sized
+ * buffers (bank maps, embedding ping-pong arrays, aggregator state)
+ * alive across runs so a long-lived replica's hot path stops paying
+ * per-graph allocation; each serve replica owns exactly one. Not
+ * thread-safe: never share one workspace between concurrent runs.
+ */
+class RunWorkspace
+{
+  public:
+    RunWorkspace();
+    ~RunWorkspace();
+    RunWorkspace(RunWorkspace &&) noexcept;
+    RunWorkspace &operator=(RunWorkspace &&) noexcept;
+    RunWorkspace(const RunWorkspace &) = delete;
+    RunWorkspace &operator=(const RunWorkspace &) = delete;
+
+  private:
+    friend class Engine;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /**
@@ -66,8 +99,14 @@ class Engine
      * Runs one graph end to end: input DMA, all pipeline phases,
      * global pooling, and the prediction head. The sample is prepared
      * internally (virtual node / DGN field) exactly as the reference
-     * executor prepares it.
+     * executor prepares it. Scratch memory comes from `ws`, which is
+     * reused across calls; the overloads without a workspace allocate
+     * a fresh one per call (convenient, but slower on a hot path).
      */
+    RunResult run(const GraphSample &sample, const RunOptions &opts,
+                  RunWorkspace &ws) const;
+    RunResult run(const GraphSample &sample,
+                  const RunOptions &opts) const;
     RunResult run(const GraphSample &sample) const;
 
   private:

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 
 namespace flowgnn {
 
@@ -32,9 +33,19 @@ class Fifo
         if (full())
             return false;
         items_.push_back(item);
-        ++total_pushes_;
-        if (items_.size() > peak_occupancy_)
-            peak_occupancy_ = items_.size();
+        record_push();
+        return true;
+    }
+
+    /** Move push, for element types that are move-only (e.g. the serve
+     * subsystem's jobs, which carry a std::promise). */
+    bool
+    push(T &&item)
+    {
+        if (full())
+            return false;
+        items_.push_back(std::move(item));
+        record_push();
         return true;
     }
 
@@ -42,7 +53,7 @@ class Fifo
     T
     pop()
     {
-        T item = items_.front();
+        T item = std::move(items_.front());
         items_.pop_front();
         return item;
     }
@@ -54,6 +65,14 @@ class Fifo
     std::size_t peak_occupancy() const { return peak_occupancy_; }
 
   private:
+    void
+    record_push()
+    {
+        ++total_pushes_;
+        if (items_.size() > peak_occupancy_)
+            peak_occupancy_ = items_.size();
+    }
+
     std::size_t capacity_;
     std::deque<T> items_;
     std::uint64_t total_pushes_ = 0;

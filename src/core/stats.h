@@ -29,6 +29,10 @@ struct UnitStats {
 
 /** Statistics of one engine run (one graph through all layers). */
 struct RunStats {
+    /** Kernel clock the producing engine was configured with; filled
+     * in by Engine::run so latency reports always use the real clock
+     * rather than an assumed default. */
+    double clock_mhz = 300.0;
     std::uint64_t total_cycles = 0;
     std::uint64_t load_cycles = 0; ///< input DMA (graph + features)
     std::uint64_t head_cycles = 0; ///< pooled MLP head
@@ -40,14 +44,21 @@ struct RunStats {
     std::uint64_t adapter_stall_cycles = 0; ///< multicast backpressure
     std::size_t queue_peak_occupancy = 0;
     std::uint64_t queue_total_pushes = 0;
-    /** Busy intervals per unit (when EngineConfig::capture_trace). */
+    /** Busy intervals per unit (when RunOptions::capture_trace). */
     std::vector<TraceEvent> trace;
 
-    /** Wall latency at the given clock. */
+    /** Wall latency at the producing engine's configured clock. */
     double
-    latency_ms(double clock_mhz) const
+    latency_ms() const
     {
-        return static_cast<double>(total_cycles) / (clock_mhz * 1e3);
+        return latency_ms(clock_mhz);
+    }
+
+    /** Wall latency at an explicit what-if clock. */
+    double
+    latency_ms(double at_clock_mhz) const
+    {
+        return static_cast<double>(total_cycles) / (at_clock_mhz * 1e3);
     }
 
     /** Observed MP imbalance: (max-min)/total work, as in Table VII. */

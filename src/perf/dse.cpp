@@ -1,7 +1,13 @@
 #include "perf/dse.h"
 
 #include <algorithm>
+#include <atomic>
+#include <future>
 #include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
 
 namespace flowgnn {
 
@@ -35,13 +41,40 @@ explore_design_space(const Model &model, const GraphSample &probe,
                     pt.resources =
                         estimate_resources(model, pt.config);
                     pt.fits = within(pt.resources, budget);
-                    Engine engine(model, pt.config);
-                    pt.cycles = engine.run(probe).stats.total_cycles;
                     points.push_back(pt);
                 }
             }
         }
     }
+
+    // Measure every candidate through the serve API: one
+    // single-replica service per configuration. Evaluator threads
+    // work-steal point indices, so a core that finishes a cheap
+    // config immediately picks up the next one — no barrier waiting
+    // on the slowest config of a batch — while each measurement stays
+    // the deterministic cycle count of that config.
+    std::atomic<std::size_t> next{0};
+    auto evaluate_points = [&] {
+        for (std::size_t i = next++; i < points.size(); i = next++) {
+            ServiceConfig svc;
+            svc.replicas = 1;
+            svc.queue_capacity = 1;
+            InferenceService service(model, points[i].config, svc);
+            points[i].cycles =
+                service.submit(probe).get().stats.total_cycles;
+        }
+    };
+    std::size_t evaluators =
+        std::min<std::size_t>(points.size(),
+                              std::max(1u,
+                                       std::thread::hardware_concurrency()));
+    std::vector<std::thread> pool;
+    pool.reserve(evaluators);
+    for (std::size_t t = 0; t < evaluators; ++t)
+        pool.emplace_back(evaluate_points);
+    for (std::thread &t : pool)
+        t.join();
+
     std::sort(points.begin(), points.end(),
               [](const DsePoint &a, const DsePoint &b) {
                   if (a.fits != b.fits)

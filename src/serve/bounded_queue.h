@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Thread-safe bounded submission queue for the inference service: the
+ * software analogue of the hardware Fifo in core/fifo.h, with the same
+ * semantics (bounded capacity, backpressure when full, occupancy
+ * statistics) extended with blocking waits and a close() protocol for
+ * shutdown. Producers choose between blocking push (backpressure) and
+ * try_push (admission control / load shedding).
+ */
+#ifndef FLOWGNN_SERVE_BOUNDED_QUEUE_H
+#define FLOWGNN_SERVE_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/fifo.h"
+
+namespace flowgnn {
+
+/** Bounded multi-producer multi-consumer queue over a hardware Fifo. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : fifo_(capacity) {}
+
+    /**
+     * Blocks while the queue is full (backpressure), then enqueues.
+     * Returns false only if the queue was closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock,
+                       [&] { return closed_ || !fifo_.full(); });
+        if (closed_)
+            return false;
+        fifo_.push(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push: false on a full or closed queue (the item
+     * is left intact so the caller can reject the request). */
+    bool
+    try_push(T &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || !fifo_.push(std::move(item)))
+                return false;
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocks until an item is available or the queue is closed and
+     * drained; nullopt signals the consumer to exit.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock,
+                        [&] { return closed_ || !fifo_.empty(); });
+        if (fifo_.empty())
+            return std::nullopt;
+        std::optional<T> item(fifo_.pop());
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Wakes all waiters; subsequent pushes fail, pops drain then end. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return fifo_.size();
+    }
+
+    std::size_t
+    capacity() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return fifo_.capacity();
+    }
+
+    /** Highest occupancy ever observed (queue-sizing studies). */
+    std::size_t
+    peak_occupancy() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return fifo_.peak_occupancy();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    Fifo<T> fifo_;
+    bool closed_ = false;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_SERVE_BOUNDED_QUEUE_H

@@ -1,0 +1,255 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace flowgnn {
+
+namespace {
+
+/** Latency samples kept for percentile telemetry: a ring of the most
+ * recent completions, so a service alive for billions of requests
+ * neither grows without bound nor sorts an ever-larger vector under
+ * its mutex on every stats() call. */
+constexpr std::size_t kLatencyWindow = 4096;
+
+/** Nearest-rank percentile of an already-sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+double
+ms_between(std::chrono::steady_clock::time_point a,
+           std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+InferenceService::InferenceService(const Model &model,
+                                   EngineConfig engine_config,
+                                   ServiceConfig service_config)
+    : model_(model),
+      engine_config_(engine_config),
+      service_config_(service_config),
+      queue_(service_config.queue_capacity == 0
+                 ? 1
+                 : service_config.queue_capacity)
+{
+    // Fail fast: a malformed config must never reach replica threads.
+    service_config_.validate();
+    engine_config_.validate();
+    service_config_.run_options.validate();
+
+    replica_stats_.resize(service_config_.replicas);
+    epoch_ = std::chrono::steady_clock::now();
+    started_ = !service_config_.start_paused;
+    workers_.reserve(service_config_.replicas);
+    for (std::size_t r = 0; r < service_config_.replicas; ++r)
+        workers_.emplace_back([this, r] { worker_loop(r); });
+}
+
+InferenceService::~InferenceService() { shutdown(); }
+
+void
+InferenceService::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_)
+            return;
+        started_ = true;
+    }
+    unpark_.notify_all();
+}
+
+void
+InferenceService::worker_loop(std::size_t replica)
+{
+    // Each replica is one accelerator instance plus its reusable
+    // scratch memory: the steady-state hot path allocates nothing
+    // graph-sized.
+    Engine engine(model_, engine_config_);
+    RunWorkspace workspace;
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        unpark_.wait(lock, [&] { return started_; });
+    }
+
+    while (auto job = queue_.pop()) {
+        auto begin = std::chrono::steady_clock::now();
+        bool ok = true;
+        RunResult result;
+        std::exception_ptr error;
+        try {
+            result = engine.run(job->sample, job->opts, workspace);
+        } catch (...) {
+            ok = false;
+            error = std::current_exception();
+        }
+        auto end = std::chrono::steady_clock::now();
+
+        // Record telemetry BEFORE fulfilling the promise: a caller
+        // that calls stats() right after future.get() must see this
+        // request counted.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ReplicaStats &rs = replica_stats_[replica];
+            rs.completed += ok;
+            rs.busy_ms += ms_between(begin, end);
+            completed_ += ok;
+            failed_ += !ok;
+            double latency = ms_between(job->enqueued, end);
+            if (latencies_ms_.size() < kLatencyWindow) {
+                latencies_ms_.push_back(latency);
+            } else {
+                latencies_ms_[latency_cursor_] = latency;
+                latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+            }
+        }
+        idle_.notify_all();
+
+        if (ok)
+            job->promise.set_value(std::move(result));
+        else
+            job->promise.set_exception(error);
+    }
+}
+
+std::future<RunResult>
+InferenceService::enqueue(GraphSample sample, const RunOptions &opts)
+{
+    opts.validate();
+    InferenceJob job;
+    job.sample = std::move(sample);
+    job.opts = opts;
+    job.enqueued = std::chrono::steady_clock::now();
+    std::future<RunResult> future = job.promise.get_future();
+
+    // Count the request as accepted before it can possibly complete,
+    // so drain()'s "all accepted work done" condition never observes
+    // completed > submitted.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            throw std::logic_error(
+                "InferenceService: submit after shutdown");
+        ++submitted_;
+    }
+
+    auto withdraw = [this](bool reject) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --submitted_;
+            rejected_ += reject;
+        }
+        idle_.notify_all();
+    };
+
+    if (service_config_.admission == AdmissionPolicy::kReject) {
+        if (!queue_.try_push(std::move(job))) {
+            withdraw(/*reject=*/true);
+            throw ServiceOverloaded();
+        }
+    } else if (!queue_.push(std::move(job))) {
+        withdraw(/*reject=*/false);
+        throw std::logic_error(
+            "InferenceService: submit after shutdown");
+    }
+    return future;
+}
+
+std::future<RunResult>
+InferenceService::submit(GraphSample sample)
+{
+    return enqueue(std::move(sample), service_config_.run_options);
+}
+
+std::future<RunResult>
+InferenceService::submit(GraphSample sample, const RunOptions &opts)
+{
+    return enqueue(std::move(sample), opts);
+}
+
+std::vector<std::future<RunResult>>
+InferenceService::submit_batch(std::vector<GraphSample> samples)
+{
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(samples.size());
+    for (GraphSample &sample : samples) {
+        try {
+            futures.push_back(submit(std::move(sample)));
+        } catch (const ServiceOverloaded &) {
+            break; // shed the tail; keep the accepted prefix's futures
+        }
+    }
+    return futures;
+}
+
+void
+InferenceService::drain()
+{
+    start(); // a paused service would otherwise never become idle
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [&] { return completed_ + failed_ == submitted_; });
+}
+
+void
+InferenceService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+    }
+    drain();
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_time_ = std::chrono::steady_clock::now();
+    stopped_ = true;
+}
+
+ServiceStats
+InferenceService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats out;
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.failed = failed_;
+    out.rejected = rejected_;
+    auto end = stopped_ ? stop_time_ : std::chrono::steady_clock::now();
+    out.uptime_ms = ms_between(epoch_, end);
+    out.throughput_gps = out.uptime_ms <= 0.0
+        ? 0.0
+        : static_cast<double>(completed_) * 1e3 / out.uptime_ms;
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    out.p50_ms = percentile(sorted, 0.50);
+    out.p95_ms = percentile(sorted, 0.95);
+    out.p99_ms = percentile(sorted, 0.99);
+    out.queue_peak_occupancy = queue_.peak_occupancy();
+    out.queue_capacity = queue_.capacity();
+    out.replicas = replica_stats_;
+    for (ReplicaStats &rs : out.replicas)
+        rs.utilization =
+            out.uptime_ms <= 0.0 ? 0.0 : rs.busy_ms / out.uptime_ms;
+    return out;
+}
+
+} // namespace flowgnn

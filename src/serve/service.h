@@ -1,0 +1,197 @@
+/**
+ * @file
+ * flowgnn::serve — the asynchronous multi-replica inference service.
+ *
+ * This is the one way to run graphs in deployment shape: a service
+ * owns N identical engine replicas on worker threads behind a bounded
+ * submission queue, callers submit raw COO samples and receive
+ * std::future<RunResult>. Because every replica is a deterministic
+ * cycle-stepped engine, results are bit-identical to a sequential
+ * Engine::run loop regardless of replica count or scheduling — the
+ * service changes throughput, never answers.
+ *
+ * Backpressure follows the paper's hardware discipline end to end:
+ * the submission queue is a bounded FIFO exactly like the NT-to-MP
+ * queues inside the engine, and a full queue either blocks the
+ * producer (AdmissionPolicy::kBlock) or sheds the request
+ * (AdmissionPolicy::kReject + ServiceOverloaded) — it never grows
+ * unbounded.
+ */
+#ifndef FLOWGNN_SERVE_SERVICE_H
+#define FLOWGNN_SERVE_SERVICE_H
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/bounded_queue.h"
+
+namespace flowgnn {
+
+/** Thrown by submit() when the queue is full under kReject. */
+class ServiceOverloaded : public std::runtime_error
+{
+  public:
+    ServiceOverloaded()
+        : std::runtime_error("InferenceService: submission queue full")
+    {
+    }
+};
+
+/** What a full submission queue does to the next submit(). */
+enum class AdmissionPolicy {
+    kBlock,  ///< exert backpressure: submit() blocks until space frees
+    kReject, ///< shed load: submit() throws ServiceOverloaded
+};
+
+/** Deployment shape of an InferenceService. */
+struct ServiceConfig {
+    /** Engine replicas (worker threads). Each owns one Engine plus a
+     * reusable RunWorkspace, so steady-state serving does not allocate
+     * per graph. */
+    std::size_t replicas = 2;
+    /** Bounded submission-queue capacity (requests, not bytes). */
+    std::size_t queue_capacity = 64;
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
+    /** Default per-run options; submit() overloads can override. */
+    RunOptions run_options{};
+    /** Construct workers parked; no request is executed until start().
+     * Lets tests and batch loaders fill the queue deterministically. */
+    bool start_paused = false;
+
+    void
+    validate() const
+    {
+        if (replicas == 0)
+            throw std::invalid_argument(
+                "ServiceConfig: replicas must be >= 1");
+        if (queue_capacity == 0)
+            throw std::invalid_argument(
+                "ServiceConfig: queue_capacity must be >= 1");
+    }
+};
+
+/** Per-replica share of the work, for utilization monitoring. */
+struct ReplicaStats {
+    std::size_t completed = 0;
+    double busy_ms = 0.0;     ///< wall time spent inside Engine::run
+    double utilization = 0.0; ///< busy_ms / service uptime
+};
+
+/** Aggregate service telemetry since construction. */
+struct ServiceStats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;   ///< runs that ended in an exception
+    std::size_t rejected = 0; ///< load shed under kReject
+    double uptime_ms = 0.0;
+    /** Completed graphs per second of wall time. */
+    double throughput_gps = 0.0;
+    /** Submit-to-completion wall latency percentiles (ms), over a
+     * sliding window of the most recent completions so a long-lived
+     * service's telemetry stays O(1) in memory. */
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    /** Highest submission-queue occupancy observed. */
+    std::size_t queue_peak_occupancy = 0;
+    std::size_t queue_capacity = 0;
+    std::vector<ReplicaStats> replicas;
+};
+
+/** One queued request (internal; move-only because of the promise). */
+struct InferenceJob {
+    GraphSample sample;
+    RunOptions opts;
+    std::promise<RunResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+/**
+ * Asynchronous multi-replica inference service over one model.
+ *
+ * The model and the service must outlive every returned future's
+ * consumer; the engine config is the hardware shape shared by all
+ * replicas and is validated at construction (fail fast, before any
+ * thread spawns). Destruction drains accepted work, then joins.
+ */
+class InferenceService
+{
+  public:
+    InferenceService(const Model &model, EngineConfig engine_config = {},
+                     ServiceConfig service_config = {});
+    ~InferenceService();
+
+    InferenceService(const InferenceService &) = delete;
+    InferenceService &operator=(const InferenceService &) = delete;
+
+    /** Unparks the workers (no-op when already running). */
+    void start();
+
+    /**
+     * Enqueues one graph with the service's default run options. The
+     * future carries the RunResult, or the run's exception.
+     */
+    std::future<RunResult> submit(GraphSample sample);
+
+    /** Enqueues one graph with explicit per-run options. */
+    std::future<RunResult> submit(GraphSample sample,
+                                  const RunOptions &opts);
+
+    /**
+     * Enqueues a batch, preserving order between samples & futures.
+     * Under AdmissionPolicy::kReject a full queue ends the batch
+     * early instead of throwing: the returned vector holds the
+     * accepted prefix (compare its size against the batch to detect
+     * shed samples), so handles to already-accepted work are never
+     * lost.
+     */
+    std::vector<std::future<RunResult>>
+    submit_batch(std::vector<GraphSample> samples);
+
+    /** Blocks until every accepted request has completed. */
+    void drain();
+
+    /** Drains, closes the queue, and joins the workers (idempotent). */
+    void shutdown();
+
+    ServiceStats stats() const;
+
+    const EngineConfig &engine_config() const { return engine_config_; }
+    std::size_t replica_count() const { return workers_.size(); }
+    std::size_t queue_capacity() const { return queue_.capacity(); }
+
+  private:
+    void worker_loop(std::size_t replica);
+    std::future<RunResult> enqueue(GraphSample sample,
+                                   const RunOptions &opts);
+
+    const Model &model_;
+    EngineConfig engine_config_;
+    ServiceConfig service_config_;
+    BoundedQueue<InferenceJob> queue_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mutex_; // guards everything below
+    std::condition_variable idle_;
+    std::condition_variable unpark_;
+    bool started_ = false;
+    bool closed_ = false;
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t rejected_ = 0;
+    std::vector<double> latencies_ms_; ///< ring of recent latencies
+    std::size_t latency_cursor_ = 0;
+    std::vector<ReplicaStats> replica_stats_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::chrono::steady_clock::time_point stop_time_;
+    bool stopped_ = false;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_SERVE_SERVICE_H

@@ -1,6 +1,8 @@
-#include "core/stream.h"
+#include "serve/stream.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 
 namespace flowgnn {
 
@@ -12,6 +14,8 @@ StreamRunner::run(SampleStream &stream, std::size_t count) const
     if (count == 0)
         return out;
 
+    service_.start(); // a paused service would never consume the queue
+
     // Two-stage pipeline timeline: the DMA engine loads graphs
     // back-to-back; the kernel starts graph i once both its load and
     // graph i-1's compute are finished.
@@ -20,8 +24,8 @@ StreamRunner::run(SampleStream &stream, std::size_t count) const
     double latency_sum = 0.0;
     double prediction_sum = 0.0;
 
-    for (std::size_t i = 0; i < count; ++i) {
-        RunResult r = engine_.run(stream.next());
+    auto consume = [&](std::future<RunResult> future) {
+        RunResult r = future.get();
         std::uint64_t load = r.stats.load_cycles;
         std::uint64_t compute = r.stats.total_cycles - load;
 
@@ -32,7 +36,28 @@ StreamRunner::run(SampleStream &stream, std::size_t count) const
         out.sequential_cycles += r.stats.total_cycles;
         latency_sum += static_cast<double>(r.stats.total_cycles);
         prediction_sum += static_cast<double>(r.prediction);
+    };
+
+    // Keep at most queue_capacity requests outstanding: submission
+    // then never finds the queue full, so the runner works under
+    // either admission policy (and never materializes `count` futures
+    // for a long stream). Results are consumed in submission order,
+    // which is what the timeline reconstruction needs.
+    const std::size_t max_inflight =
+        std::max<std::size_t>(1, service_.queue_capacity());
+    std::deque<std::future<RunResult>> inflight;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (inflight.size() >= max_inflight) {
+            consume(std::move(inflight.front()));
+            inflight.pop_front();
+        }
+        inflight.push_back(service_.submit(stream.next()));
     }
+    while (!inflight.empty()) {
+        consume(std::move(inflight.front()));
+        inflight.pop_front();
+    }
+
     out.pipelined_cycles = compute_done;
     out.avg_latency_cycles = latency_sum / static_cast<double>(count);
     out.avg_prediction = prediction_sum / static_cast<double>(count);

@@ -10,11 +10,11 @@
  * graph. Per-graph latency is unchanged (a single graph still pays
  * load + compute); only throughput improves.
  */
-#ifndef FLOWGNN_CORE_STREAM_H
-#define FLOWGNN_CORE_STREAM_H
+#ifndef FLOWGNN_SERVE_STREAM_H
+#define FLOWGNN_SERVE_STREAM_H
 
-#include "core/engine.h"
 #include "datasets/dataset.h"
+#include "serve/service.h"
 
 namespace flowgnn {
 
@@ -51,21 +51,28 @@ struct StreamRunStats {
 };
 
 /**
- * Runs a sample stream through an engine with cross-graph load/compute
- * overlap (two-stage pipeline: DMA, then kernel).
+ * Runs a sample stream through an inference service with cross-graph
+ * load/compute overlap (two-stage pipeline: DMA, then kernel).
+ *
+ * Samples are submitted asynchronously and the board-level timeline is
+ * reconstructed from the per-run stats in submission order, so the
+ * modeled cycle counts are bit-identical however many replicas the
+ * service runs.
  */
 class StreamRunner
 {
   public:
-    explicit StreamRunner(const Engine &engine) : engine_(engine) {}
+    explicit StreamRunner(InferenceService &service) : service_(service)
+    {
+    }
 
     /** Processes `count` consecutive samples from the stream. */
     StreamRunStats run(SampleStream &stream, std::size_t count) const;
 
   private:
-    const Engine &engine_;
+    InferenceService &service_;
 };
 
 } // namespace flowgnn
 
-#endif // FLOWGNN_CORE_STREAM_H
+#endif // FLOWGNN_SERVE_STREAM_H

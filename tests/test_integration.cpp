@@ -10,7 +10,7 @@
 #include <cmath>
 
 #include "core/engine.h"
-#include "core/stream.h"
+#include "serve/stream.h"
 #include "datasets/dataset.h"
 #include "tensor/ops.h"
 

@@ -99,10 +99,10 @@ TEST_P(EngineQuantization, SixteenBitTracksFloatReference)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 17);
     Model m = make_model(GetParam(), s.node_dim(), s.edge_dim());
-    EngineConfig cfg;
-    cfg.emulate_fixed_point = true;
-    cfg.fixed_point = kFixed16_10;
-    RunResult r = Engine(m, cfg).run(s);
+    RunOptions opts;
+    opts.emulate_fixed_point = true;
+    opts.fixed_point = kFixed16_10;
+    RunResult r = Engine(m, {}).run(s, opts);
     Matrix expected = m.reference_embeddings(m.prepare(s));
     // ap_fixed<16,6>-style datapath: small but nonzero drift.
     float diff = max_abs_diff(r.embeddings, expected);
@@ -117,10 +117,11 @@ TEST_P(EngineQuantization, ErrorGrowsAsBitsShrink)
     Matrix expected = m.reference_embeddings(m.prepare(s));
 
     auto error_for = [&](FixedPointFormat fmt) {
-        EngineConfig cfg;
-        cfg.emulate_fixed_point = true;
-        cfg.fixed_point = fmt;
-        return max_abs_diff(Engine(m, cfg).run(s).embeddings, expected);
+        RunOptions opts;
+        opts.emulate_fixed_point = true;
+        opts.fixed_point = fmt;
+        return max_abs_diff(Engine(m, {}).run(s, opts).embeddings,
+                            expected);
     };
     float e16 = error_for(kFixed16_10);
     float e8 = error_for(kFixed8_4);
@@ -137,21 +138,22 @@ TEST(EngineQuantization, TimingUnchangedByQuantization)
     // Quantization models datapath width, not schedule: cycles match.
     GraphSample s = make_sample(DatasetKind::kMolHiv, 18);
     Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
-    EngineConfig fp32;
-    EngineConfig fixed = fp32;
+    Engine engine(m, {});
+    RunOptions fixed;
     fixed.emulate_fixed_point = true;
-    EXPECT_EQ(Engine(m, fp32).run(s).stats.total_cycles,
-              Engine(m, fixed).run(s).stats.total_cycles);
+    EXPECT_EQ(engine.run(s).stats.total_cycles,
+              engine.run(s, fixed).stats.total_cycles);
 }
 
 TEST(EngineQuantization, InvalidFormatRejected)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
     Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
-    EngineConfig cfg;
-    cfg.emulate_fixed_point = true;
-    cfg.fixed_point = {8, 8};
-    EXPECT_THROW(Engine(m, cfg), std::invalid_argument);
+    RunOptions opts;
+    opts.emulate_fixed_point = true;
+    opts.fixed_point = {8, 8};
+    EXPECT_THROW(opts.validate(), std::invalid_argument);
+    EXPECT_THROW(Engine(m, {}).run(s, opts), std::invalid_argument);
 }
 
 } // namespace

@@ -1,0 +1,353 @@
+/** @file flowgnn::serve tests: bounded queue, determinism across
+ * replicas, backpressure / load shedding, telemetry, workspace reuse. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "serve/bounded_queue.h"
+#include "serve/service.h"
+
+namespace flowgnn {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- BoundedQueue -----------------------------------------------------
+
+TEST(BoundedQueue, OrderingAndCapacity)
+{
+    BoundedQueue<int> q(3);
+    EXPECT_EQ(q.capacity(), 3u);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_TRUE(q.try_push(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFullInsteadOfGrowing)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    int spilled = 3;
+    EXPECT_FALSE(q.try_push(std::move(spilled)))
+        << "a full bounded queue must reject, not grow";
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.try_push(std::move(spilled)));
+    EXPECT_EQ(q.peak_occupancy(), 2u);
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1)); // fills the queue
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2); // must block until the consumer pops
+        pushed = true;
+    });
+
+    std::this_thread::sleep_for(50ms);
+    EXPECT_FALSE(pushed) << "push into a full queue must block";
+    EXPECT_EQ(q.size(), 1u);
+
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEndsConsumers)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.try_push(7));
+    q.close();
+    int rejected = 8;
+    EXPECT_FALSE(q.try_push(std::move(rejected)));
+    auto first = q.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 7);
+    EXPECT_FALSE(q.pop().has_value()) << "closed+empty ends the consumer";
+}
+
+// ---- InferenceService -------------------------------------------------
+
+TEST(InferenceService, ConstructionFailsFastOnBadConfig)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    EngineConfig bad_engine;
+    bad_engine.p_node = 0;
+    EXPECT_THROW(InferenceService(m, bad_engine), std::invalid_argument);
+
+    ServiceConfig no_replicas;
+    no_replicas.replicas = 0;
+    EXPECT_THROW(InferenceService(m, {}, no_replicas),
+                 std::invalid_argument);
+
+    ServiceConfig bad_opts;
+    bad_opts.run_options.emulate_fixed_point = true;
+    bad_opts.run_options.fixed_point = {8, 8};
+    EXPECT_THROW(InferenceService(m, {}, bad_opts),
+                 std::invalid_argument);
+}
+
+TEST(InferenceService, ConcurrentRepliesBitIdenticalToSequential)
+{
+    // The acceptance bar of the serve redesign: a multi-replica
+    // service processing a 500-graph stream must reproduce a
+    // sequential Engine::run loop exactly, bit for bit.
+    constexpr std::size_t kGraphs = 500;
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+    Model m =
+        make_model(ModelKind::kGin, probe.node_dim(), probe.edge_dim());
+
+    Engine engine(m, {});
+    RunWorkspace workspace;
+    SampleStream sequential(DatasetKind::kMolHiv, kGraphs);
+    std::vector<RunResult> expected;
+    expected.reserve(kGraphs);
+    for (std::size_t i = 0; i < kGraphs; ++i)
+        expected.push_back(
+            engine.run(sequential.next(), RunOptions{}, workspace));
+
+    ServiceConfig svc;
+    svc.replicas = 3;
+    InferenceService service(m, {}, svc);
+    SampleStream stream(DatasetKind::kMolHiv, kGraphs);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(kGraphs);
+    for (std::size_t i = 0; i < kGraphs; ++i)
+        futures.push_back(service.submit(stream.next()));
+
+    for (std::size_t i = 0; i < kGraphs; ++i) {
+        RunResult got = futures[i].get();
+        EXPECT_EQ(got.prediction, expected[i].prediction) << i;
+        EXPECT_TRUE(got.embeddings == expected[i].embeddings) << i;
+        EXPECT_EQ(got.stats.total_cycles, expected[i].stats.total_cycles)
+            << i;
+    }
+
+    ServiceStats st = service.stats();
+    EXPECT_EQ(st.completed, kGraphs);
+    EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(InferenceService, FullQueueBlocksSubmitUnderBackpressure)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 1;
+    svc.queue_capacity = 2;
+    svc.start_paused = true; // workers parked: the queue must fill
+    InferenceService service(m, {}, svc);
+
+    std::vector<std::future<RunResult>> futures;
+    futures.push_back(service.submit(s));
+    futures.push_back(service.submit(s));
+
+    std::atomic<bool> third_accepted{false};
+    std::thread producer([&] {
+        auto f = service.submit(s); // blocks: queue is full
+        third_accepted = true;
+        f.wait();
+    });
+    std::this_thread::sleep_for(50ms);
+    EXPECT_FALSE(third_accepted)
+        << "submit into a full queue must block, not grow the queue";
+
+    service.start();
+    producer.join();
+    EXPECT_TRUE(third_accepted);
+    service.drain();
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(service.stats().completed, 3u);
+}
+
+TEST(InferenceService, RejectPolicyShedsLoadWhenFull)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 1;
+    svc.queue_capacity = 2;
+    svc.admission = AdmissionPolicy::kReject;
+    svc.start_paused = true;
+    InferenceService service(m, {}, svc);
+
+    auto f1 = service.submit(s);
+    auto f2 = service.submit(s);
+    EXPECT_THROW(service.submit(s), ServiceOverloaded);
+
+    service.drain();
+    EXPECT_NO_THROW(f1.get());
+    EXPECT_NO_THROW(f2.get());
+
+    ServiceStats st = service.stats();
+    EXPECT_EQ(st.rejected, 1u);
+    EXPECT_EQ(st.submitted, 2u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.queue_peak_occupancy, 2u);
+}
+
+TEST(InferenceService, SubmitBatchKeepsAcceptedPrefixWhenShedding)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 1;
+    svc.queue_capacity = 2;
+    svc.admission = AdmissionPolicy::kReject;
+    svc.start_paused = true;
+    InferenceService service(m, {}, svc);
+
+    std::vector<GraphSample> batch(5, s);
+    auto futures = service.submit_batch(std::move(batch));
+    EXPECT_EQ(futures.size(), 2u)
+        << "batch must keep the accepted prefix, not throw it away";
+    EXPECT_EQ(service.stats().rejected, 1u);
+
+    service.drain();
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(InferenceService, SubmitBatchPreservesOrder)
+{
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+    Model m =
+        make_model(ModelKind::kGcn, probe.node_dim(), probe.edge_dim());
+
+    std::vector<GraphSample> batch;
+    std::vector<float> expected;
+    Engine engine(m, {});
+    for (std::size_t i = 0; i < 16; ++i) {
+        batch.push_back(make_sample(DatasetKind::kMolHiv, i));
+        expected.push_back(engine.run(batch.back()).prediction);
+    }
+
+    InferenceService service(m);
+    auto futures = service.submit_batch(std::move(batch));
+    ASSERT_EQ(futures.size(), 16u);
+    for (std::size_t i = 0; i < futures.size(); ++i)
+        EXPECT_EQ(futures[i].get().prediction, expected[i]) << i;
+}
+
+TEST(InferenceService, PerRunOptionsOverrideServiceDefaults)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    InferenceService service(m);
+
+    RunOptions traced;
+    traced.capture_trace = true;
+    RunResult with_trace = service.submit(s, traced).get();
+    RunResult without = service.submit(s).get();
+    EXPECT_FALSE(with_trace.stats.trace.empty());
+    EXPECT_TRUE(without.stats.trace.empty());
+    // Same answers either way.
+    EXPECT_EQ(with_trace.prediction, without.prediction);
+}
+
+TEST(InferenceService, StatsTelemetryIsConsistent)
+{
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+    Model m =
+        make_model(ModelKind::kGin, probe.node_dim(), probe.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 2;
+    InferenceService service(m, {}, svc);
+    SampleStream stream(DatasetKind::kMolHiv, 32);
+    std::vector<std::future<RunResult>> futures;
+    for (std::size_t i = 0; i < 32; ++i)
+        futures.push_back(service.submit(stream.next()));
+    for (auto &f : futures)
+        f.get();
+
+    ServiceStats st = service.stats();
+    EXPECT_EQ(st.submitted, 32u);
+    EXPECT_EQ(st.completed, 32u);
+    EXPECT_GT(st.throughput_gps, 0.0);
+    EXPECT_GT(st.p50_ms, 0.0);
+    EXPECT_LE(st.p50_ms, st.p95_ms);
+    EXPECT_LE(st.p95_ms, st.p99_ms);
+    EXPECT_LE(st.queue_peak_occupancy, st.queue_capacity);
+    ASSERT_EQ(st.replicas.size(), 2u);
+    std::size_t replica_total = 0;
+    for (const auto &rs : st.replicas)
+        replica_total += rs.completed;
+    EXPECT_EQ(replica_total, 32u);
+}
+
+TEST(InferenceService, SubmitAfterShutdownThrows)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    InferenceService service(m);
+    service.submit(s).get();
+    service.shutdown();
+    EXPECT_THROW(service.submit(s), std::logic_error);
+}
+
+// ---- RunWorkspace reuse ----------------------------------------------
+
+TEST(RunWorkspace, ReuseAcrossGraphsMatchesFreshRuns)
+{
+    // The replica hot path reuses one workspace for every graph; the
+    // results must match fresh-workspace runs exactly for every model
+    // family (GAT exercises the combine path, PNA the multi-aggregator
+    // finalize, DGN the directional field).
+    GraphSample probe = make_sample(DatasetKind::kMolHiv, 0);
+    for (ModelKind kind : kPaperModels) {
+        Model m =
+            make_model(kind, probe.node_dim(), probe.edge_dim());
+        Engine engine(m, {});
+        RunWorkspace reused;
+        for (std::size_t i = 0; i < 6; ++i) {
+            GraphSample s = make_sample(DatasetKind::kMolHiv, i);
+            RunResult warm = engine.run(s, RunOptions{}, reused);
+            RunResult cold = engine.run(s);
+            EXPECT_EQ(warm.prediction, cold.prediction)
+                << model_name(kind) << " graph " << i;
+            EXPECT_TRUE(warm.embeddings == cold.embeddings)
+                << model_name(kind) << " graph " << i;
+            EXPECT_EQ(warm.stats.total_cycles, cold.stats.total_cycles)
+                << model_name(kind) << " graph " << i;
+        }
+    }
+}
+
+TEST(RunStats, LatencyUsesConfiguredClock)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    EngineConfig cfg;
+    cfg.clock_mhz = 150.0; // half the paper clock -> double the time
+    RunResult half = Engine(m, cfg).run(s);
+    RunResult full = Engine(m, {}).run(s);
+    ASSERT_EQ(half.stats.total_cycles, full.stats.total_cycles);
+    EXPECT_DOUBLE_EQ(half.stats.clock_mhz, 150.0);
+    EXPECT_DOUBLE_EQ(half.latency_ms(), 2.0 * full.latency_ms());
+    // Explicit what-if clock still available.
+    EXPECT_DOUBLE_EQ(half.latency_ms(300.0), full.latency_ms());
+}
+
+} // namespace
+} // namespace flowgnn

@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "core/engine.h"
-#include "core/stream.h"
+#include "serve/stream.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
 #include "tensor/ops.h"
@@ -16,8 +16,8 @@ TEST(StreamRunner, SingleGraphEqualsSequential)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
     Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
-    Engine engine(m, {});
-    StreamRunner runner(engine);
+    InferenceService service(m);
+    StreamRunner runner(service);
     SampleStream stream(DatasetKind::kMolHiv, 1);
     StreamRunStats st = runner.run(stream, 1);
     EXPECT_EQ(st.pipelined_cycles, st.sequential_cycles);
@@ -28,8 +28,8 @@ TEST(StreamRunner, PipeliningNeverSlower)
 {
     GraphSample s = make_sample(DatasetKind::kHep, 0);
     Model m = make_model(ModelKind::kGcn, s.node_dim(), s.edge_dim());
-    Engine engine(m, {});
-    StreamRunner runner(engine);
+    InferenceService service(m);
+    StreamRunner runner(service);
     SampleStream stream(DatasetKind::kHep, 32);
     StreamRunStats st = runner.run(stream, 32);
     EXPECT_LE(st.pipelined_cycles, st.sequential_cycles);
@@ -51,7 +51,8 @@ TEST(StreamRunner, SteadyStateBoundedByStageMax)
         load_sum += r.stats.load_cycles;
         compute_sum += r.stats.total_cycles - r.stats.load_cycles;
     }
-    StreamRunner runner(engine);
+    InferenceService service(m);
+    StreamRunner runner(service);
     SampleStream stream(DatasetKind::kMolHiv, 16);
     StreamRunStats st = runner.run(stream, 16);
     EXPECT_GE(st.pipelined_cycles, std::max(load_sum, compute_sum));
@@ -62,12 +63,34 @@ TEST(StreamRunner, ZeroGraphsIsEmpty)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
     Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
-    Engine engine(m, {});
-    StreamRunner runner(engine);
+    InferenceService service(m);
+    StreamRunner runner(service);
     SampleStream stream(DatasetKind::kMolHiv, 4);
     StreamRunStats st = runner.run(stream, 0);
     EXPECT_EQ(st.pipelined_cycles, 0u);
     EXPECT_EQ(st.graphs, 0u);
+}
+
+TEST(StreamRunner, WorksOnPausedAndRejectingServices)
+{
+    // The runner must start a parked service and keep its in-flight
+    // window within queue capacity, so a kReject service never sheds
+    // stream traffic.
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+    ServiceConfig svc;
+    svc.replicas = 2;
+    svc.queue_capacity = 2;
+    svc.admission = AdmissionPolicy::kReject;
+    svc.start_paused = true;
+    InferenceService service(m, {}, svc);
+    StreamRunner runner(service);
+    SampleStream stream(DatasetKind::kMolHiv, 16);
+    StreamRunStats st = runner.run(stream, 16);
+    EXPECT_EQ(st.graphs, 16u);
+    EXPECT_GT(st.pipelined_cycles, 0u);
+    EXPECT_EQ(service.stats().rejected, 0u);
+    EXPECT_EQ(service.stats().completed, 16u);
 }
 
 CooGraph

@@ -17,9 +17,9 @@ traced_run(ModelKind kind = ModelKind::kGin)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
     Model m = make_model(kind, s.node_dim(), s.edge_dim());
-    EngineConfig cfg;
-    cfg.capture_trace = true;
-    return Engine(m, cfg).run(s).stats;
+    RunOptions opts;
+    opts.capture_trace = true;
+    return Engine(m, {}).run(s, opts).stats;
 }
 
 TEST(Trace, DisabledByDefault)
@@ -78,9 +78,9 @@ TEST(Trace, EveryNodeAccumulatedEveryPhase)
 {
     GraphSample s = make_sample(DatasetKind::kMolHiv, 3);
     Model m = make_model(ModelKind::kGcn, s.node_dim(), s.edge_dim());
-    EngineConfig cfg;
-    cfg.capture_trace = true;
-    RunStats st = Engine(m, cfg).run(s).stats;
+    RunOptions opts;
+    opts.capture_trace = true;
+    RunStats st = Engine(m, {}).run(s, opts).stats;
     std::size_t acc_events = 0;
     for (const auto &e : st.trace)
         acc_events += (e.kind == TraceKind::kNtAccumulate);
