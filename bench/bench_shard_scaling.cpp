@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Multi-die shard-scaling study: modeled-cycle speedup of sharded
+ * execution vs shard count on a large synthetic graph, per shard
+ * strategy. This is the scale-out counterpart of the paper's
+ * single-die latency experiments — the workload the paper defers in
+ * Sec. VI-E (graphs far larger than one die's buffers).
+ *
+ *   ./bench_shard_scaling [--nodes N] [--model gcn16|gcn|gin]
+ *                         [--json PATH]
+ *
+ * --json writes a machine-readable record of every point (consumed by
+ * CI as a workflow artifact, so the bench trajectory is tracked).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "shard/sharded_engine.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace flowgnn;
+
+GraphSample
+make_workload(NodeId nodes, std::size_t node_dim)
+{
+    GraphSample s;
+    s.graph = make_ring_lattice(nodes, 2);
+    Rng rng(0xB16B00);
+    s.node_features = Matrix(nodes, node_dim);
+    for (std::size_t r = 0; r < nodes; ++r)
+        for (std::size_t c = 0; c < node_dim; ++c)
+            s.node_features(r, c) =
+                static_cast<float>(rng.normal(0.0, 0.5));
+    return s;
+}
+
+struct Point {
+    const char *strategy;
+    std::uint32_t shards;
+    std::uint64_t cycles;
+    std::uint64_t comm_cycles;
+    double speedup;
+    double cut_fraction;
+    double replication;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    NodeId nodes = 120000;
+    std::string model_name_arg = "gcn16";
+    std::string json_path;
+    for (int a = 1; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--nodes") && a + 1 < argc)
+            nodes = static_cast<NodeId>(std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--model") && a + 1 < argc)
+            model_name_arg = argv[++a];
+        else if (!std::strcmp(argv[a], "--json") && a + 1 < argc)
+            json_path = argv[++a];
+    }
+    ModelKind kind = ModelKind::kGcn16;
+    if (model_name_arg == "gcn")
+        kind = ModelKind::kGcn;
+    else if (model_name_arg == "gin")
+        kind = ModelKind::kGin;
+
+    constexpr std::size_t kNodeDim = 16;
+    GraphSample sample = make_workload(nodes, kNodeDim);
+    Model model = make_model(kind, kNodeDim, 0);
+
+    bench::banner(
+        "multi-die shard scaling",
+        "Modeled cycles for one large graph split across P dies "
+        "(ring lattice, k=2: ids carry locality). Contiguous shards "
+        "cut only die boundaries; the modulo hash ignores locality "
+        "and replicates nearly everything — the cut metrics predict "
+        "which one scales.");
+    std::printf("graph: %u nodes / %zu edges, model %s, %u-hop halo\n\n",
+                sample.graph.num_nodes, sample.num_edges(),
+                model_name(kind), ShardedEngine::message_hops(model));
+
+    const std::uint32_t shard_counts[] = {1, 2, 4, 8};
+    const ShardStrategy strategies[] = {ShardStrategy::kContiguous,
+                                        ShardStrategy::kModulo};
+
+    std::printf("%-12s %7s %14s %12s %9s %8s %8s\n", "strategy",
+                "shards", "cycles", "comm", "speedup", "cut", "repl");
+    bench::rule(76);
+
+    std::vector<Point> points;
+    for (ShardStrategy strategy : strategies) {
+        std::uint64_t base_cycles = 0;
+        for (std::uint32_t shards : shard_counts) {
+            ShardConfig cfg;
+            cfg.num_shards = shards;
+            cfg.strategy = strategy;
+            ShardedRunResult r =
+                ShardedEngine(model, {}, cfg).run(sample);
+            if (shards == 1)
+                base_cycles = r.stats.total_cycles;
+            Point p;
+            p.strategy = shard_strategy_name(strategy);
+            p.shards = shards;
+            p.cycles = r.stats.total_cycles;
+            p.comm_cycles = r.stats.comm_cycles;
+            p.speedup = static_cast<double>(base_cycles) /
+                        static_cast<double>(r.stats.total_cycles);
+            p.cut_fraction =
+                static_cast<double>(r.cut_edges) /
+                static_cast<double>(sample.num_edges());
+            p.replication = r.replication_factor;
+            points.push_back(p);
+            std::printf("%-12s %7u %14llu %12llu %8.2fx %8.3f %8.3f\n",
+                        p.strategy, p.shards,
+                        static_cast<unsigned long long>(p.cycles),
+                        static_cast<unsigned long long>(p.comm_cycles),
+                        p.speedup, p.cut_fraction, p.replication);
+        }
+        bench::rule(76);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << "{\n  \"bench\": \"shard_scaling\",\n"
+           << "  \"nodes\": " << sample.graph.num_nodes << ",\n"
+           << "  \"edges\": " << sample.num_edges() << ",\n"
+           << "  \"model\": \"" << model_name(kind) << "\",\n"
+           << "  \"points\": [\n";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            os << "    {\"strategy\": \"" << p.strategy
+               << "\", \"shards\": " << p.shards
+               << ", \"cycles\": " << p.cycles
+               << ", \"comm_cycles\": " << p.comm_cycles
+               << ", \"speedup\": " << p.speedup
+               << ", \"cut_fraction\": " << p.cut_fraction
+               << ", \"replication\": " << p.replication << "}"
+               << (i + 1 < points.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -303,13 +303,18 @@ simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
                     auto &p = port[u];
                     // Bounded skid buffer in the adapter register; in
                     // whole-node handoff mode the register models the
-                    // full ping-pong embedding buffer.
-                    std::uint32_t cap = whole_node_handoff
-                        ? w.stream_elems
-                        : 2 * std::max(pa, ps);
+                    // full ping-pong embedding buffer, so any not-yet
+                    // -complete embedding can absorb the next (final
+                    // beat possibly partial) delivery — gating it on
+                    // the granule-mode slack would wedge the pipeline
+                    // whenever Papply does not divide the embedding.
+                    std::uint32_t cap = 2 * std::max(pa, ps);
                     std::uint32_t buffered =
                         p.received - p.emitted_granules * ps;
-                    if (buffered + pa <= cap + ps) {
+                    bool room = whole_node_handoff
+                        ? p.received < w.stream_elems
+                        : buffered + pa <= cap + ps;
+                    if (room) {
                         p.received = std::min<std::uint32_t>(
                             p.received + pa, w.stream_elems);
                         unit.out_sent += pa;
@@ -584,10 +589,17 @@ RunResult
 Engine::run(const GraphSample &sample, const RunOptions &opts,
             RunWorkspace &ws) const
 {
+    GraphSample prepared = model_.prepare(sample);
+    return run_prepared(prepared, opts, ws);
+}
+
+RunResult
+Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
+                     RunWorkspace &ws) const
+{
     opts.validate();
     const EngineConfig &cfg = config_;
     RunWorkspace::Impl &wsi = *ws.impl_;
-    GraphSample prepared = model_.prepare(sample);
     if (!prepared.consistent())
         throw std::invalid_argument("Engine: inconsistent sample");
 

@@ -1,6 +1,7 @@
 #include "core/stats.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace flowgnn {
 
@@ -17,6 +18,58 @@ RunStats::observed_mp_imbalance() const
     auto [mn, mx] = std::minmax_element(mp_edge_work.begin(),
                                         mp_edge_work.end());
     return static_cast<double>(*mx - *mn) / static_cast<double>(total);
+}
+
+RunStats
+compose_shard_stats(const std::vector<RunStats> &shards,
+                    const std::vector<std::uint64_t> &comm_cycles)
+{
+    if (shards.empty())
+        throw std::invalid_argument(
+            "compose_shard_stats: need at least one shard");
+    if (comm_cycles.size() != shards.size())
+        throw std::invalid_argument(
+            "compose_shard_stats: comm_cycles size mismatch");
+
+    RunStats out;
+    out.clock_mhz = shards.front().clock_mhz;
+    std::uint32_t nt_offset = 0;
+    std::uint32_t mp_offset = 0;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const RunStats &sh = shards[s];
+        // Dies run concurrently; each die's halo fetch serializes in
+        // front of its compute, so the system finishes with the die
+        // whose fetch + compute chain is longest.
+        out.total_cycles = std::max(out.total_cycles,
+                                    sh.total_cycles + comm_cycles[s]);
+        out.comm_cycles = std::max(out.comm_cycles, comm_cycles[s]);
+        out.load_cycles = std::max(out.load_cycles, sh.load_cycles);
+        out.head_cycles = std::max(out.head_cycles, sh.head_cycles);
+        if (sh.phase_cycles.size() > out.phase_cycles.size())
+            out.phase_cycles.resize(sh.phase_cycles.size(), 0);
+        for (std::size_t p = 0; p < sh.phase_cycles.size(); ++p)
+            out.phase_cycles[p] =
+                std::max(out.phase_cycles[p], sh.phase_cycles[p]);
+        out.nt_units.insert(out.nt_units.end(), sh.nt_units.begin(),
+                            sh.nt_units.end());
+        out.mp_units.insert(out.mp_units.end(), sh.mp_units.begin(),
+                            sh.mp_units.end());
+        out.mp_edge_work.insert(out.mp_edge_work.end(),
+                                sh.mp_edge_work.begin(),
+                                sh.mp_edge_work.end());
+        out.adapter_stall_cycles += sh.adapter_stall_cycles;
+        out.queue_peak_occupancy = std::max(out.queue_peak_occupancy,
+                                            sh.queue_peak_occupancy);
+        out.queue_total_pushes += sh.queue_total_pushes;
+        for (TraceEvent ev : sh.trace) {
+            ev.unit += ev.kind == TraceKind::kMpWork ? mp_offset
+                                                     : nt_offset;
+            out.trace.push_back(ev);
+        }
+        nt_offset += static_cast<std::uint32_t>(sh.nt_units.size());
+        mp_offset += static_cast<std::uint32_t>(sh.mp_units.size());
+    }
+    return out;
 }
 
 } // namespace flowgnn

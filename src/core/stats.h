@@ -42,6 +42,10 @@ struct RunStats {
     /** Edge-work items processed per MP unit (workload imbalance). */
     std::vector<std::uint64_t> mp_edge_work;
     std::uint64_t adapter_stall_cycles = 0; ///< multicast backpressure
+    /** Inter-die halo-exchange cycles (zero for single-die runs).
+     * Already included in total_cycles when set, so latency_ms()
+     * reports the end-to-end figure. */
+    std::uint64_t comm_cycles = 0;
     std::size_t queue_peak_occupancy = 0;
     std::uint64_t queue_total_pushes = 0;
     /** Busy intervals per unit (when RunOptions::capture_trace). */
@@ -64,6 +68,23 @@ struct RunStats {
     /** Observed MP imbalance: (max-min)/total work, as in Table VII. */
     double observed_mp_imbalance() const;
 };
+
+/**
+ * Composes per-die statistics of one sharded run into a single
+ * RunStats, as if the multi-die system were one wider accelerator:
+ *
+ * - cycle totals take the slowest die (dies run concurrently), with
+ *   each die's halo-exchange cycles serialized before its compute;
+ * - per-unit and per-bank vectors concatenate across dies, so
+ *   utilization and imbalance metrics span the whole system;
+ * - trace events get their unit ids offset per die so a merged trace
+ *   shows every die's units as separate rows.
+ *
+ * `comm_cycles` holds one entry per shard (the halo traffic charged
+ * to that die); pass zeros for communication-free composition.
+ */
+RunStats compose_shard_stats(const std::vector<RunStats> &shards,
+                             const std::vector<std::uint64_t> &comm_cycles);
 
 } // namespace flowgnn
 

@@ -155,6 +155,28 @@ make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng)
 }
 
 CooGraph
+make_ring_lattice(NodeId num_nodes, std::uint32_t k)
+{
+    if (k == 0)
+        throw std::invalid_argument("make_ring_lattice: k must be > 0");
+    if (num_nodes < 2 * std::uint64_t(k) + 1)
+        throw std::invalid_argument(
+            "make_ring_lattice: need num_nodes > 2k");
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    g.edges.reserve(std::size_t(num_nodes) * 2 * k);
+    for (NodeId i = 0; i < num_nodes; ++i) {
+        for (std::uint32_t j = 1; j <= k; ++j) {
+            NodeId fwd = (i + j) % num_nodes;
+            NodeId bwd = (i + num_nodes - j) % num_nodes;
+            g.edges.push_back({fwd, i});
+            g.edges.push_back({bwd, i});
+        }
+    }
+    return g;
+}
+
+CooGraph
 add_virtual_node(const CooGraph &graph)
 {
     CooGraph out = graph;

@@ -43,6 +43,16 @@ CooGraph make_knn_point_cloud(NodeId num_nodes, std::uint32_t k, Rng &rng);
 CooGraph make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng);
 
 /**
+ * Ring lattice: node i is connected bidirectionally to its k nearest
+ * ring neighbors on each side ((i +/- 1 .. k) mod n). Deterministic,
+ * bounded degree (2k per direction), and — unlike the random
+ * generators — node ids carry perfect spatial locality, making this
+ * the canonical large-graph workload for multi-die sharding studies
+ * (contiguous shards cut only the 2k ring edges at each boundary).
+ */
+CooGraph make_ring_lattice(NodeId num_nodes, std::uint32_t k);
+
+/**
  * Adds a virtual node connected bidirectionally to every existing
  * node (paper Sec. IV, "Virtual Node"). The virtual node gets id
  * num_nodes of the input graph; new edges are appended after existing

@@ -64,6 +64,138 @@ balanced_bank_assignment(const CooGraph &graph, std::uint32_t p_edge)
     return assignment;
 }
 
+const char *
+shard_strategy_name(ShardStrategy strategy)
+{
+    switch (strategy) {
+      case ShardStrategy::kModulo: return "modulo";
+      case ShardStrategy::kContiguous: return "contiguous";
+      case ShardStrategy::kGreedyBalanced: return "greedy-balanced";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint32_t>
+shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
+                 ShardStrategy strategy)
+{
+    if (num_shards == 0)
+        throw std::invalid_argument(
+            "shard_assignment: num_shards must be > 0");
+    switch (strategy) {
+      case ShardStrategy::kModulo: {
+        std::vector<std::uint32_t> assignment(graph.num_nodes);
+        for (NodeId n = 0; n < graph.num_nodes; ++n)
+            assignment[n] = n % num_shards;
+        return assignment;
+      }
+      case ShardStrategy::kContiguous: {
+        // Equal id ranges; the last shard absorbs the remainder.
+        std::vector<std::uint32_t> assignment(graph.num_nodes);
+        std::size_t chunk =
+            (graph.num_nodes + num_shards - 1) / num_shards;
+        if (chunk == 0)
+            chunk = 1;
+        for (NodeId n = 0; n < graph.num_nodes; ++n)
+            assignment[n] = static_cast<std::uint32_t>(
+                std::min<std::size_t>(n / chunk, num_shards - 1));
+        return assignment;
+      }
+      case ShardStrategy::kGreedyBalanced:
+        return balanced_bank_assignment(graph, num_shards);
+    }
+    throw std::invalid_argument("shard_assignment: unknown strategy");
+}
+
+std::size_t
+shard_cut_edges(const CooGraph &graph,
+                const std::vector<std::uint32_t> &assignment)
+{
+    if (assignment.size() != graph.num_nodes)
+        throw std::invalid_argument(
+            "shard_cut_edges: assignment size mismatch");
+    std::size_t cut = 0;
+    for (const auto &e : graph.edges)
+        cut += assignment[e.src] != assignment[e.dst];
+    return cut;
+}
+
+double
+shard_cut_fraction(const CooGraph &graph,
+                   const std::vector<std::uint32_t> &assignment)
+{
+    if (graph.num_edges() == 0)
+        return 0.0;
+    return static_cast<double>(shard_cut_edges(graph, assignment)) /
+           static_cast<double>(graph.num_edges());
+}
+
+std::vector<NodeId>
+shard_closure(const CscGraph &in_adjacency,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops)
+{
+    const NodeId n = in_adjacency.num_nodes();
+    if (assignment.size() != n)
+        throw std::invalid_argument(
+            "shard_closure: assignment size mismatch");
+
+    std::vector<bool> included(n, false);
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v) {
+        if (assignment[v] == shard) {
+            included[v] = true;
+            frontier.push_back(v);
+        }
+    }
+    // Backward BFS: layer l of the model needs layer l-1 embeddings of
+    // in-neighbors, so `hops` levels of in-neighbors suffice.
+    std::vector<NodeId> next;
+    for (std::uint32_t h = 0; h < hops && !frontier.empty(); ++h) {
+        next.clear();
+        for (NodeId v : frontier) {
+            for (std::size_t s = in_adjacency.col_begin(v);
+                 s < in_adjacency.col_end(v); ++s) {
+                NodeId src = in_adjacency.src(s);
+                if (!included[src]) {
+                    included[src] = true;
+                    next.push_back(src);
+                }
+            }
+        }
+        std::swap(frontier, next);
+    }
+
+    std::vector<NodeId> closure;
+    for (NodeId v = 0; v < n; ++v)
+        if (included[v])
+            closure.push_back(v);
+    return closure;
+}
+
+std::vector<NodeId>
+shard_closure(const CooGraph &graph,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops)
+{
+    return shard_closure(CscGraph(graph), assignment, shard, hops);
+}
+
+double
+shard_replication_factor(const CooGraph &graph,
+                         const std::vector<std::uint32_t> &assignment,
+                         std::uint32_t num_shards, std::uint32_t hops)
+{
+    if (graph.num_nodes == 0)
+        return 1.0;
+    CscGraph csc(graph);
+    std::size_t copies = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s)
+        copies += shard_closure(csc, assignment, s, hops).size();
+    return static_cast<double>(copies) /
+           static_cast<double>(graph.num_nodes);
+}
+
 std::vector<std::size_t>
 bank_edge_counts(const CooGraph &graph,
                  const std::vector<std::uint32_t> &assignment,

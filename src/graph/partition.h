@@ -1,12 +1,20 @@
 /**
  * @file
- * Destination-bank assignment and workload-imbalance analysis.
+ * Destination-bank assignment, workload-imbalance analysis, and
+ * multi-die shard partitioning.
  *
  * FlowGNN assigns each edge to the MP unit that owns the edge's
  * destination node (dest_id % Pedge). Because this is a fixed modular
  * hash requiring zero pre-processing, workloads can be imbalanced;
  * Table VII of the paper quantifies this. This module implements the
  * assignment and the paper's imbalance metric.
+ *
+ * The same node-to-owner machinery generalizes one level up: a graph
+ * too large for one die's buffers is split into shards, each owned by
+ * one accelerator die. The shard-level helpers here provide the
+ * assignment strategies, the cut metrics that predict inter-die
+ * traffic, and the L-hop halo extraction that makes shard-local
+ * recomputation exact for owned nodes (see src/shard/).
  */
 #ifndef FLOWGNN_GRAPH_PARTITION_H
 #define FLOWGNN_GRAPH_PARTITION_H
@@ -59,6 +67,74 @@ std::vector<std::size_t>
 bank_edge_counts(const CooGraph &graph,
                  const std::vector<std::uint32_t> &assignment,
                  std::uint32_t p_edge);
+
+// ---- Multi-die shard partitioning -------------------------------------
+
+/**
+ * How nodes are assigned to shards (dies) for multi-die execution.
+ *
+ * kModulo is the shard-level analogue of the destination-bank hash:
+ * zero pre-processing, but oblivious to locality, so it cuts nearly
+ * every edge on graphs whose node ids carry spatial meaning.
+ * kContiguous assigns equal id ranges — the right default for graphs
+ * whose ids follow a spatial or crawl order (point clouds, lattices,
+ * citation crawls). kGreedyBalanced reuses the in-degree-balancing
+ * greedy pass from balanced_bank_assignment at shard granularity: the
+ * best per-die load balance, but locality-oblivious like kModulo.
+ */
+enum class ShardStrategy {
+    kModulo,
+    kContiguous,
+    kGreedyBalanced,
+};
+
+/** Human-readable strategy name. */
+const char *shard_strategy_name(ShardStrategy strategy);
+
+/** Node -> shard owner map, each entry in [0, num_shards). */
+std::vector<std::uint32_t> shard_assignment(const CooGraph &graph,
+                                            std::uint32_t num_shards,
+                                            ShardStrategy strategy);
+
+/** Number of edges whose endpoints live on different shards. */
+std::size_t shard_cut_edges(const CooGraph &graph,
+                            const std::vector<std::uint32_t> &assignment);
+
+/** Cut edges as a fraction of all edges (0 = no inter-die traffic). */
+double shard_cut_fraction(const CooGraph &graph,
+                          const std::vector<std::uint32_t> &assignment);
+
+/**
+ * The `hops`-hop in-neighborhood closure of the given shard's owned
+ * node set: owned nodes plus every node whose features can reach an
+ * owned node within `hops` message-passing layers. Running the model
+ * on the subgraph induced by this closure reproduces the full-graph
+ * embeddings of the owned nodes exactly.
+ *
+ * Returned in ascending global id order, which preserves the engine's
+ * src-major message-arrival order — the property that makes
+ * single-NT-unit sharded runs bit-identical to unsharded runs.
+ */
+std::vector<NodeId>
+shard_closure(const CscGraph &in_adjacency,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops);
+
+/** Convenience overload that builds the in-adjacency internally. */
+std::vector<NodeId>
+shard_closure(const CooGraph &graph,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops);
+
+/**
+ * Average number of copies of each node across all shard closures
+ * (>= 1; 1 means no replication at all). The memory-overhead metric
+ * of vertex-cut partitioning literature, applied to halo replication.
+ */
+double shard_replication_factor(const CooGraph &graph,
+                                const std::vector<std::uint32_t> &assignment,
+                                std::uint32_t num_shards,
+                                std::uint32_t hops);
 
 } // namespace flowgnn
 

@@ -16,6 +16,10 @@ GraphSample::consistent() const
         return false;
     if (!dgn_field.empty() && dgn_field.size() != graph.num_nodes)
         return false;
+    if (!true_in_deg.empty() && true_in_deg.size() != graph.num_nodes)
+        return false;
+    if (!true_out_deg.empty() && true_out_deg.size() != graph.num_nodes)
+        return false;
     if (num_pool_nodes > graph.num_nodes)
         return false;
     return true;

@@ -29,6 +29,16 @@ struct GraphSample {
     NodeId num_pool_nodes = 0;
     /** Per-node scalar field u (Laplacian eigenvector) for DGN. */
     Vec dgn_field;
+    /**
+     * Optional full-graph degree overrides, one entry per node when
+     * non-empty. Degree-normalized layers (GCN/SGC) read degrees from
+     * these instead of counting `graph`'s edges. Multi-die sharding
+     * sets them on each die's subgraph: a halo node's local edge list
+     * is incomplete, so its true degrees ship with its features —
+     * exactly as distributed GNN systems ship ghost-vertex degrees.
+     */
+    std::vector<std::uint32_t> true_in_deg;
+    std::vector<std::uint32_t> true_out_deg;
     /** Synthetic regression target used by examples. */
     float label = 0.0f;
 

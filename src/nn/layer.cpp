@@ -10,8 +10,13 @@ make_layer_context(const GraphSample &sample, const PnaParams &pna)
 {
     LayerContext ctx;
     ctx.sample = &sample;
-    ctx.in_deg = sample.graph.in_degrees();
-    ctx.out_deg = sample.graph.out_degrees();
+    // Subgraph execution (multi-die sharding) supplies the full
+    // graph's degrees alongside the features; otherwise count edges.
+    ctx.in_deg = sample.true_in_deg.empty() ? sample.graph.in_degrees()
+                                            : sample.true_in_deg;
+    ctx.out_deg = sample.true_out_deg.empty()
+                      ? sample.graph.out_degrees()
+                      : sample.true_out_deg;
     ctx.pna = pna;
 
     if (!sample.dgn_field.empty()) {

@@ -34,8 +34,12 @@ class BoundedQueue
     push(T item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock,
-                       [&] { return closed_ || !fifo_.full(); });
+        if (!closed_ && fifo_.full()) {
+            ++waiting_producers_;
+            not_full_.wait(lock,
+                           [&] { return closed_ || !fifo_.full(); });
+            --waiting_producers_;
+        }
         if (closed_)
             return false;
         fifo_.push(std::move(item));
@@ -110,12 +114,26 @@ class BoundedQueue
         return fifo_.peak_occupancy();
     }
 
+    /**
+     * Producers currently blocked in push() waiting for space —
+     * backpressure telemetry, and the deterministic synchronization
+     * point tests use instead of sleeping ("wait until the producer
+     * is provably blocked" rather than "sleep and hope").
+     */
+    std::size_t
+    waiting_producers() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return waiting_producers_;
+    }
+
   private:
     mutable std::mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
     Fifo<T> fifo_;
     bool closed_ = false;
+    std::size_t waiting_producers_ = 0;
 };
 
 } // namespace flowgnn

@@ -187,11 +187,16 @@ InferenceService::submit_batch(std::vector<GraphSample> samples)
 {
     std::vector<std::future<RunResult>> futures;
     futures.reserve(samples.size());
-    for (GraphSample &sample : samples) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
         try {
-            futures.push_back(submit(std::move(sample)));
+            futures.push_back(submit(std::move(samples[i])));
         } catch (const ServiceOverloaded &) {
-            break; // shed the tail; keep the accepted prefix's futures
+            // Shed the tail, keep the accepted prefix's futures. The
+            // overflowing sample was already counted rejected by
+            // submit(); the unattempted tail is shed load too.
+            std::lock_guard<std::mutex> lock(mutex_);
+            rejected_ += samples.size() - i - 1;
+            break;
         }
     }
     return futures;
@@ -245,6 +250,7 @@ InferenceService::stats() const
     out.p99_ms = percentile(sorted, 0.99);
     out.queue_peak_occupancy = queue_.peak_occupancy();
     out.queue_capacity = queue_.capacity();
+    out.blocked_producers = queue_.waiting_producers();
     out.replicas = replica_stats_;
     for (ReplicaStats &rs : out.replicas)
         rs.utilization =

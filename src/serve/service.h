@@ -99,6 +99,9 @@ struct ServiceStats {
     /** Highest submission-queue occupancy observed. */
     std::size_t queue_peak_occupancy = 0;
     std::size_t queue_capacity = 0;
+    /** Producers blocked in submit() right now (kBlock backpressure
+     * in action; always 0 under kReject). */
+    std::size_t blocked_producers = 0;
     std::vector<ReplicaStats> replicas;
 };
 
@@ -147,7 +150,8 @@ class InferenceService
      * early instead of throwing: the returned vector holds the
      * accepted prefix (compare its size against the batch to detect
      * shed samples), so handles to already-accepted work are never
-     * lost.
+     * lost. Every shed sample — the one that overflowed and the
+     * unattempted tail behind it — counts in ServiceStats::rejected.
      */
     std::vector<std::future<RunResult>>
     submit_batch(std::vector<GraphSample> samples);

@@ -49,6 +49,7 @@ TEST(BoundedQueue, BlockingPushWaitsForSpace)
 {
     BoundedQueue<int> q(1);
     ASSERT_TRUE(q.push(1)); // fills the queue
+    EXPECT_EQ(q.waiting_producers(), 0u);
 
     std::atomic<bool> pushed{false};
     std::thread producer([&] {
@@ -56,13 +57,18 @@ TEST(BoundedQueue, BlockingPushWaitsForSpace)
         pushed = true;
     });
 
-    std::this_thread::sleep_for(50ms);
+    // Deterministic: wait until the producer is provably parked inside
+    // push() (no timing assumption; a broken non-blocking push would
+    // flip `pushed` and fail the assert below instead).
+    while (q.waiting_producers() == 0)
+        std::this_thread::yield();
     EXPECT_FALSE(pushed) << "push into a full queue must block";
     EXPECT_EQ(q.size(), 1u);
 
     EXPECT_EQ(q.pop(), 1);
     producer.join();
     EXPECT_TRUE(pushed);
+    EXPECT_EQ(q.waiting_producers(), 0u);
     EXPECT_EQ(q.pop(), 2);
 }
 
@@ -164,7 +170,11 @@ TEST(InferenceService, FullQueueBlocksSubmitUnderBackpressure)
         third_accepted = true;
         f.wait();
     });
-    std::this_thread::sleep_for(50ms);
+    // Deterministic: workers are parked (start_paused), so the queue
+    // cannot drain; wait until the producer is provably blocked in
+    // submit() instead of sleeping and hoping the thread got there.
+    while (service.stats().blocked_producers == 0)
+        std::this_thread::yield();
     EXPECT_FALSE(third_accepted)
         << "submit into a full queue must block, not grow the queue";
 
@@ -220,12 +230,82 @@ TEST(InferenceService, SubmitBatchKeepsAcceptedPrefixWhenShedding)
     auto futures = service.submit_batch(std::move(batch));
     EXPECT_EQ(futures.size(), 2u)
         << "batch must keep the accepted prefix, not throw it away";
-    EXPECT_EQ(service.stats().rejected, 1u);
+    // All three shed samples count: the overflowing one and the two
+    // unattempted behind it.
+    EXPECT_EQ(service.stats().rejected, 3u);
 
     service.drain();
     for (auto &f : futures)
         EXPECT_NO_THROW(f.get());
     EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(InferenceService, SubmitBatchExactlyFillingQueueShedsNothing)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 1;
+    svc.queue_capacity = 4;
+    svc.admission = AdmissionPolicy::kReject;
+    svc.start_paused = true;
+    InferenceService service(m, {}, svc);
+
+    std::vector<GraphSample> batch(4, s);
+    auto futures = service.submit_batch(std::move(batch));
+    EXPECT_EQ(futures.size(), 4u);
+    EXPECT_EQ(service.stats().rejected, 0u);
+    EXPECT_EQ(service.stats().submitted, 4u);
+
+    service.drain();
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(InferenceService, SubmitBatchPartialShedAfterPrefillThenRecovers)
+{
+    GraphSample s = make_sample(DatasetKind::kMolHiv, 0);
+    Model m = make_model(ModelKind::kGin, s.node_dim(), s.edge_dim());
+
+    ServiceConfig svc;
+    svc.replicas = 1;
+    svc.queue_capacity = 3;
+    svc.admission = AdmissionPolicy::kReject;
+    svc.start_paused = true;
+    InferenceService service(m, {}, svc);
+
+    // Two requests already occupy the queue; only one batch slot left.
+    auto f1 = service.submit(s);
+    auto f2 = service.submit(s);
+
+    std::vector<GraphSample> batch(4, s);
+    auto futures = service.submit_batch(std::move(batch));
+    EXPECT_EQ(futures.size(), 1u)
+        << "batch admission must see the pre-filled queue";
+    EXPECT_EQ(service.stats().rejected, 3u);
+    EXPECT_EQ(service.stats().submitted, 3u);
+
+    // The shed tail must not poison the accepted work or the service:
+    // everything accepted completes, and a later batch is admitted in
+    // full once the queue drained.
+    service.drain();
+    EXPECT_NO_THROW(f1.get());
+    EXPECT_NO_THROW(f2.get());
+    EXPECT_NO_THROW(futures.front().get());
+
+    std::vector<GraphSample> retry(3, s);
+    auto futures2 = service.submit_batch(std::move(retry));
+    EXPECT_EQ(futures2.size(), 3u);
+    service.drain();
+    for (auto &f : futures2)
+        EXPECT_NO_THROW(f.get());
+
+    ServiceStats st = service.stats();
+    EXPECT_EQ(st.completed, 6u);
+    EXPECT_EQ(st.rejected, 3u) << "recovery must not re-count sheds";
+    EXPECT_EQ(st.blocked_producers, 0u)
+        << "kReject never parks producers";
 }
 
 TEST(InferenceService, SubmitBatchPreservesOrder)
