@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "datasets/dataset.h"
+#include "graph/generators.h"
 #include "serve/service.h"
+#include "tensor/rng.h"
 
 namespace flowgnn::bench {
 
@@ -58,6 +60,27 @@ run_stream(const Model &model, const EngineConfig &config,
     out.avg_cycles /= static_cast<double>(out.graphs);
     out.observed_imbalance = imb / static_cast<double>(out.graphs);
     return out;
+}
+
+/**
+ * The canonical large-graph sharding workload: a k=2 ring lattice
+ * (node ids carry perfect locality) with deterministic Gaussian node
+ * features. Shared by the shard/pool/energy scale-out benches so they
+ * all study the same graph family.
+ */
+inline GraphSample
+make_lattice_workload(NodeId nodes, std::size_t node_dim,
+                      std::uint64_t seed)
+{
+    GraphSample s;
+    s.graph = make_ring_lattice(nodes, 2);
+    Rng rng(seed);
+    s.node_features = Matrix(nodes, node_dim);
+    for (std::size_t r = 0; r < nodes; ++r)
+        for (std::size_t c = 0; c < node_dim; ++c)
+            s.node_features(r, c) =
+                static_cast<float>(rng.normal(0.0, 0.5));
+    return s;
 }
 
 /** Prints a horizontal rule sized to the table width. */

@@ -30,15 +30,7 @@ using namespace flowgnn;
 GraphSample
 make_workload(NodeId nodes, std::size_t node_dim)
 {
-    GraphSample s;
-    s.graph = make_ring_lattice(nodes, 2);
-    Rng rng(0xB16B00);
-    s.node_features = Matrix(nodes, node_dim);
-    for (std::size_t r = 0; r < nodes; ++r)
-        for (std::size_t c = 0; c < node_dim; ++c)
-            s.node_features(r, c) =
-                static_cast<float>(rng.normal(0.0, 0.5));
-    return s;
+    return bench::make_lattice_workload(nodes, node_dim, 0xB16B00);
 }
 
 struct Point {

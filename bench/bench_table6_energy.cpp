@@ -6,6 +6,7 @@
 #include "bench_common.h"
 #include "perf/baselines.h"
 #include "perf/energy.h"
+#include "shard/sharded_engine.h"
 
 using namespace flowgnn;
 
@@ -66,5 +67,47 @@ main()
     }
     bench::rule(94);
     std::printf("Paper: 163x-1748x energy efficiency over GPU.\n");
+
+    // ---- Scale-out point: the multi-die energy model (link +
+    // replicated-halo storage) on a graph too large for one die.
+    // Latency drops near-linearly with dies while per-run energy
+    // grows slightly: dies burn power for the shared makespan and the
+    // link + halo overheads are pure additions — the energy cost of
+    // speed, quantified. ----
+    std::printf("\nScale-out: 60k-node ring lattice, GCN-16, "
+                "contiguous shards, %u-word/cycle link\n\n",
+                LinkConfig{}.words_per_cycle);
+    constexpr NodeId kNodes = 60000;
+    constexpr std::size_t kDim = 16;
+    GraphSample large = bench::make_lattice_workload(kNodes, kDim, 0xE6);
+    Model gcn16 = make_model(ModelKind::kGcn16, kDim, 0);
+
+    std::printf("%4s | %10s | %10s | %8s | %8s | %10s | %8s\n", "dies",
+                "latency ms", "compute mJ", "link mJ", "halo mJ",
+                "graphs/kJ", "speedup");
+    bench::rule(78);
+    double base_ms = 0.0;
+    for (std::uint32_t dies : {1u, 2u, 4u}) {
+        ShardConfig shard;
+        shard.num_shards = dies;
+        shard.strategy = ShardStrategy::kContiguous;
+        ShardedRunResult r =
+            ShardedEngine(gcn16, {}, shard).run(large);
+        std::uint64_t link_words = 0;
+        for (const ShardInfo &info : r.shards)
+            link_words += info.halo_words;
+        MultiDieEnergy e = multi_die_energy(
+            dies, r.latency_ms(), link_words, r.replication_factor,
+            kNodes, kDim);
+        if (dies == 1)
+            base_ms = r.latency_ms();
+        std::printf(
+            "%4u | %10.3f | %10.3f | %8.4f | %8.4f | %10.3e | %7.2fx\n",
+            dies, r.latency_ms(), e.compute_mj, e.link_mj, e.halo_mj,
+            e.graphs_per_kj, base_ms / r.latency_ms());
+    }
+    bench::rule(78);
+    std::printf("Near-linear latency scaling at near-constant energy: "
+                "the link+halo tax of contiguous shards is tiny.\n");
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "datasets/dataset.h"
 #include "graph/generators.h"
+#include "shard/sharded_engine.h"
 #include "shard/sharded_service.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
@@ -45,11 +46,13 @@ main()
             small.node_features(r, c) =
                 static_cast<float>(rng.normal(0.0, 0.5));
 
-    // ---- One service, size-based routing ----
+    // ---- One service, one die pool, size-based routing ----
     ShardedServiceConfig cfg;
     cfg.shard_threshold_nodes = 4096;
     cfg.shard.num_shards = 4;
     cfg.shard.strategy = ShardStrategy::kContiguous;
+    cfg.pool.num_dies = 4;
+    cfg.pool.policy = PoolPolicy::kSpaceShare;
     ShardedService service(model, {}, cfg);
 
     auto small_future = service.submit(small);
@@ -57,9 +60,11 @@ main()
     RunResult small_result = small_future.get();
     RunResult large_result = large_future.get();
 
-    ShardedServiceStats st = service.stats();
-    std::printf("routing: %zu graph(s) on the fast path, %zu sharded\n",
-                st.small.completed, st.sharded_completed);
+    PoolStats st = service.stats();
+    std::printf("routing: %zu graph(s) on the fast path, %zu sharded "
+                "(peak %zu/%zu dies busy)\n",
+                st.fast.completed, st.sharded.completed,
+                st.peak_busy_dies, service.num_dies());
     std::printf("small graph:  %5u nodes -> %8llu cycles (%.3f ms)\n",
                 small.num_nodes(),
                 static_cast<unsigned long long>(

@@ -20,9 +20,22 @@ RunStats::observed_mp_imbalance() const
     return static_cast<double>(*mx - *mn) / static_cast<double>(total);
 }
 
+std::vector<double>
+RunStats::die_utilizations() const
+{
+    std::vector<double> out(die_cycles.size(), 0.0);
+    for (std::size_t d = 0; d < die_cycles.size(); ++d)
+        out[d] = total_cycles == 0
+            ? 0.0
+            : static_cast<double>(die_cycles[d]) /
+                  static_cast<double>(total_cycles);
+    return out;
+}
+
 RunStats
 compose_shard_stats(const std::vector<RunStats> &shards,
-                    const std::vector<std::uint64_t> &comm_cycles)
+                    const std::vector<std::uint64_t> &comm_cycles,
+                    bool overlap_comm)
 {
     if (shards.empty())
         throw std::invalid_argument(
@@ -33,15 +46,26 @@ compose_shard_stats(const std::vector<RunStats> &shards,
 
     RunStats out;
     out.clock_mhz = shards.front().clock_mhz;
+    out.die_cycles.reserve(shards.size());
     std::uint32_t nt_offset = 0;
     std::uint32_t mp_offset = 0;
     for (std::size_t s = 0; s < shards.size(); ++s) {
         const RunStats &sh = shards[s];
-        // Dies run concurrently; each die's halo fetch serializes in
-        // front of its compute, so the system finishes with the die
-        // whose fetch + compute chain is longest.
-        out.total_cycles = std::max(out.total_cycles,
-                                    sh.total_cycles + comm_cycles[s]);
+        // Dies run concurrently; the system finishes with the die
+        // whose fetch + compute chain is longest. Serial mode charges
+        // the full halo fetch before compute; overlap mode hides the
+        // fetch behind the die's own input DMA (load_cycles) and only
+        // the excess delays the compute remainder.
+        std::uint64_t chain;
+        if (overlap_comm) {
+            std::uint64_t prefix =
+                std::max(comm_cycles[s], sh.load_cycles);
+            chain = prefix + (sh.total_cycles - sh.load_cycles);
+        } else {
+            chain = sh.total_cycles + comm_cycles[s];
+        }
+        out.die_cycles.push_back(chain);
+        out.total_cycles = std::max(out.total_cycles, chain);
         out.comm_cycles = std::max(out.comm_cycles, comm_cycles[s]);
         out.load_cycles = std::max(out.load_cycles, sh.load_cycles);
         out.head_cycles = std::max(out.head_cycles, sh.head_cycles);

@@ -50,6 +50,14 @@ struct RunStats {
     std::uint64_t queue_total_pushes = 0;
     /** Busy intervals per unit (when RunOptions::capture_trace). */
     std::vector<TraceEvent> trace;
+    /**
+     * Per-die end-to-end chain length (halo fetch + compute) of a
+     * composed multi-die run, one entry per shard; empty for
+     * single-die runs. total_cycles is the max of these, so
+     * die_cycles[d] / total_cycles is die d's utilization of the
+     * system-level makespan.
+     */
+    std::vector<std::uint64_t> die_cycles;
 
     /** Wall latency at the producing engine's configured clock. */
     double
@@ -67,14 +75,26 @@ struct RunStats {
 
     /** Observed MP imbalance: (max-min)/total work, as in Table VII. */
     double observed_mp_imbalance() const;
+
+    /** Per-die fraction of the system makespan each die spent working
+     * (die_cycles / total_cycles); empty for single-die runs. */
+    std::vector<double> die_utilizations() const;
 };
 
 /**
  * Composes per-die statistics of one sharded run into a single
  * RunStats, as if the multi-die system were one wider accelerator:
  *
- * - cycle totals take the slowest die (dies run concurrently), with
- *   each die's halo-exchange cycles serialized before its compute;
+ * - cycle totals take the slowest die (dies run concurrently); by
+ *   default each die's halo-exchange cycles serialize in front of its
+ *   compute, so die d's chain is comm[d] + total[d];
+ * - with `overlap_comm` the halo fetch overlaps the die's input DMA
+ *   (both are ingest streams): the chain becomes
+ *   max(comm[d], load_cycles[d]) + (total[d] - load_cycles[d]) — the
+ *   link hides behind the local load prefix and only the excess
+ *   delays the compute remainder;
+ * - per-die chains are recorded in RunStats::die_cycles (die-level
+ *   utilization of the makespan);
  * - per-unit and per-bank vectors concatenate across dies, so
  *   utilization and imbalance metrics span the whole system;
  * - trace events get their unit ids offset per die so a merged trace
@@ -84,7 +104,8 @@ struct RunStats {
  * to that die); pass zeros for communication-free composition.
  */
 RunStats compose_shard_stats(const std::vector<RunStats> &shards,
-                             const std::vector<std::uint64_t> &comm_cycles);
+                             const std::vector<std::uint64_t> &comm_cycles,
+                             bool overlap_comm = false);
 
 } // namespace flowgnn
 

@@ -71,6 +71,7 @@ shard_strategy_name(ShardStrategy strategy)
       case ShardStrategy::kModulo: return "modulo";
       case ShardStrategy::kContiguous: return "contiguous";
       case ShardStrategy::kGreedyBalanced: return "greedy-balanced";
+      case ShardStrategy::kBfsContiguous: return "bfs-contiguous";
     }
     return "unknown";
 }
@@ -103,6 +104,60 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
       }
       case ShardStrategy::kGreedyBalanced:
         return balanced_bank_assignment(graph, num_shards);
+      case ShardStrategy::kBfsContiguous: {
+        // Undirected BFS renumbering (CSR over the symmetrized edge
+        // set, no per-node vectors), then a contiguous split of the
+        // BFS ranks. Disconnected components restart the BFS from the
+        // lowest unvisited id, so every node gets a rank.
+        const NodeId n = graph.num_nodes;
+        std::vector<std::size_t> offsets(n + 1, 0);
+        for (const auto &e : graph.edges) {
+            ++offsets[e.src + 1];
+            ++offsets[e.dst + 1];
+        }
+        for (NodeId v = 0; v < n; ++v)
+            offsets[v + 1] += offsets[v];
+        std::vector<NodeId> nbr(offsets[n]);
+        std::vector<std::size_t> fill(offsets.begin(),
+                                      offsets.end() - 1);
+        for (const auto &e : graph.edges) {
+            nbr[fill[e.src]++] = e.dst;
+            nbr[fill[e.dst]++] = e.src;
+        }
+
+        std::vector<NodeId> rank(n, 0);
+        std::vector<bool> visited(n, false);
+        std::vector<NodeId> queue;
+        queue.reserve(n);
+        NodeId next_rank = 0;
+        for (NodeId seed = 0; seed < n; ++seed) {
+            if (visited[seed])
+                continue;
+            visited[seed] = true;
+            queue.push_back(seed);
+            for (std::size_t head = 0; head < queue.size(); ++head) {
+                NodeId v = queue[head];
+                rank[v] = next_rank++;
+                for (std::size_t i = offsets[v]; i < offsets[v + 1];
+                     ++i) {
+                    if (!visited[nbr[i]]) {
+                        visited[nbr[i]] = true;
+                        queue.push_back(nbr[i]);
+                    }
+                }
+            }
+            queue.clear();
+        }
+
+        std::size_t chunk = (n + num_shards - 1) / num_shards;
+        if (chunk == 0)
+            chunk = 1;
+        std::vector<std::uint32_t> assignment(n);
+        for (NodeId v = 0; v < n; ++v)
+            assignment[v] = static_cast<std::uint32_t>(
+                std::min<std::size_t>(rank[v] / chunk, num_shards - 1));
+        return assignment;
+      }
     }
     throw std::invalid_argument("shard_assignment: unknown strategy");
 }

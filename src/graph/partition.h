@@ -81,11 +81,17 @@ bank_edge_counts(const CooGraph &graph,
  * citation crawls). kGreedyBalanced reuses the in-degree-balancing
  * greedy pass from balanced_bank_assignment at shard granularity: the
  * best per-die load balance, but locality-oblivious like kModulo.
+ * kBfsContiguous renumbers nodes by undirected BFS order (restarting
+ * from the lowest unvisited id per component) and splits the BFS
+ * ranks contiguously — a locality-recovering strategy for graphs
+ * whose node ids are meaningless: neighbors get nearby ranks, so the
+ * contiguous split cuts only frontier edges.
  */
 enum class ShardStrategy {
     kModulo,
     kContiguous,
     kGreedyBalanced,
+    kBfsContiguous,
 };
 
 /** Human-readable strategy name. */

@@ -29,4 +29,46 @@ graphs_per_kj(Platform platform, double latency_ms)
     return 1e6 / (platform_power_w(platform) * latency_ms);
 }
 
+namespace {
+
+/** Serial die-to-die links burn ~10 pJ/bit (SerDes-class transceiver
+ * energy), i.e. 0.32 nJ per 32-bit word moved. */
+constexpr double kLinkNjPerWord = 0.32;
+
+/** Writing one replicated halo word into a die's local buffers costs
+ * one HBM-class access, ~0.06 nJ/word (~15 pJ/byte). */
+constexpr double kHaloWriteNjPerWord = 0.06;
+
+} // namespace
+
+MultiDieEnergy
+multi_die_energy(std::uint32_t dies, double latency_ms,
+                 std::uint64_t link_words, double replication_factor,
+                 std::size_t graph_nodes, std::size_t node_dim)
+{
+    if (dies == 0)
+        throw std::invalid_argument(
+            "multi_die_energy: dies must be >= 1");
+    if (latency_ms <= 0.0)
+        throw std::invalid_argument(
+            "multi_die_energy: latency must be > 0");
+    if (replication_factor < 1.0)
+        throw std::invalid_argument(
+            "multi_die_energy: replication_factor must be >= 1");
+
+    MultiDieEnergy out;
+    out.compute_mj =
+        static_cast<double>(dies) * platform_power_w(Platform::kFpga) *
+        latency_ms;
+    out.link_mj =
+        static_cast<double>(link_words) * kLinkNjPerWord * 1e-6;
+    double replicated_words = (replication_factor - 1.0) *
+                              static_cast<double>(graph_nodes) *
+                              static_cast<double>(node_dim);
+    out.halo_mj = replicated_words * kHaloWriteNjPerWord * 1e-6;
+    out.total_mj = out.compute_mj + out.link_mj + out.halo_mj;
+    out.graphs_per_kj = 1e6 / out.total_mj;
+    return out;
+}
+
 } // namespace flowgnn

@@ -11,6 +11,8 @@
 #ifndef FLOWGNN_PERF_ENERGY_H
 #define FLOWGNN_PERF_ENERGY_H
 
+#include <cstdint>
+
 namespace flowgnn {
 
 /** Execution platforms compared in the paper. */
@@ -28,6 +30,38 @@ double energy_per_graph_mj(Platform platform, double latency_ms);
 
 /** Energy efficiency in graphs per kilojoule (Table VI metric). */
 double graphs_per_kj(Platform platform, double latency_ms);
+
+/**
+ * Per-component energy of one multi-die sharded run — the scale-out
+ * extension of Table VI. Compute charges every die for the full
+ * makespan (dies in the same chassis draw power while waiting at the
+ * merge barrier); the inter-die link charges per word moved; the
+ * replicated halo charges the extra feature storage each run must
+ * write beyond what a single die would hold.
+ */
+struct MultiDieEnergy {
+    double compute_mj = 0.0; ///< dies x FPGA power x makespan
+    double link_mj = 0.0;    ///< halo traffic over the serial links
+    double halo_mj = 0.0;    ///< replicated (ghost) feature storage
+    double total_mj = 0.0;
+    double graphs_per_kj = 0.0; ///< 1e6 / total_mj
+};
+
+/**
+ * @param dies               dies used by the run
+ * @param latency_ms         composed multi-die makespan
+ * @param link_words         total 4-byte words fetched over inter-die
+ *                           links (sum of ShardInfo::halo_words)
+ * @param replication_factor average copies of each node across shard
+ *                           closures (>= 1)
+ * @param graph_nodes        nodes in the full graph
+ * @param node_dim           feature width (words per node)
+ */
+MultiDieEnergy multi_die_energy(std::uint32_t dies, double latency_ms,
+                                std::uint64_t link_words,
+                                double replication_factor,
+                                std::size_t graph_nodes,
+                                std::size_t node_dim);
 
 } // namespace flowgnn
 

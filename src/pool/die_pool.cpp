@@ -1,0 +1,131 @@
+#include "pool/die_pool.h"
+
+#include <stdexcept>
+
+#include "core/telemetry.h"
+
+namespace flowgnn {
+
+namespace {
+
+/** Occupancy transitions kept: enough to reconstruct the recent
+ * schedule shape without growing with pool lifetime. */
+constexpr std::size_t kOccupancyWindow = 4096;
+
+} // namespace
+
+DiePool::DiePool(const Model &model, EngineConfig engine_config,
+                 std::uint32_t num_dies)
+{
+    if (num_dies == 0)
+        throw std::invalid_argument("DiePool: num_dies must be >= 1");
+    engine_config.validate();
+    dies_.reserve(num_dies);
+    for (std::uint32_t d = 0; d < num_dies; ++d)
+        dies_.push_back(std::make_unique<Die>(model, engine_config));
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+void
+DiePool::reset_epoch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch_ = std::chrono::steady_clock::now();
+    for (auto &die : dies_) {
+        die->stats.busy_ms = 0.0;
+        die->stats.leases = 0;
+    }
+    occupancy_.clear();
+    occupancy_cursor_ = 0;
+}
+
+void
+DiePool::record_occupancy(std::chrono::steady_clock::time_point now)
+{
+    OccupancyPoint point{ms_between(epoch_, now), busy_};
+    if (occupancy_.size() < kOccupancyWindow) {
+        occupancy_.push_back(point);
+    } else {
+        occupancy_[occupancy_cursor_] = point;
+        occupancy_cursor_ = (occupancy_cursor_ + 1) % kOccupancyWindow;
+    }
+}
+
+void
+DiePool::lease(std::size_t die)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Timestamp under the lock so the occupancy timeline stays
+    // monotonic (two dies transitioning concurrently must append in
+    // the order they serialize).
+    auto now = std::chrono::steady_clock::now();
+    Die &d = *dies_[die];
+    d.lease_start = now;
+    ++d.stats.leases;
+    ++busy_;
+    peak_busy_ = std::max(peak_busy_, busy_);
+    record_occupancy(now);
+}
+
+void
+DiePool::release(std::size_t die)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto now = std::chrono::steady_clock::now();
+    Die &d = *dies_[die];
+    d.stats.busy_ms += ms_between(d.lease_start, now);
+    --busy_;
+    record_occupancy(now);
+}
+
+std::size_t
+DiePool::busy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return busy_;
+}
+
+std::size_t
+DiePool::peak_busy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_busy_;
+}
+
+double
+DiePool::uptime_ms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ms_between(epoch_, std::chrono::steady_clock::now());
+}
+
+std::vector<DieStats>
+DiePool::die_stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double uptime = ms_between(epoch_, std::chrono::steady_clock::now());
+    std::vector<DieStats> out;
+    out.reserve(dies_.size());
+    for (const auto &die : dies_) {
+        DieStats stats = die->stats;
+        stats.utilization = uptime <= 0.0 ? 0.0 : stats.busy_ms / uptime;
+        out.push_back(stats);
+    }
+    return out;
+}
+
+std::vector<OccupancyPoint>
+DiePool::occupancy_timeline() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<OccupancyPoint> out;
+    out.reserve(occupancy_.size());
+    // Oldest-first: the ring's cursor points at the oldest entry once
+    // the window has wrapped.
+    for (std::size_t i = 0; i < occupancy_.size(); ++i)
+        out.push_back(
+            occupancy_[(occupancy_cursor_ + i) % occupancy_.size()]);
+    return out;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * flowgnn::pool — the machine's die resources as a schedulable pool.
+ *
+ * A DiePool owns D identical accelerator dies (one Engine replica plus
+ * its reusable RunWorkspace each) and accounts for their leases: which
+ * dies are busy, the pool's occupancy over time, and per-die
+ * utilization. It makes no scheduling decisions — that is the
+ * PoolScheduler's job (pool/scheduler.h); the split keeps "what
+ * resources exist" separate from "who gets them next", so policies can
+ * change without touching the resource accounting.
+ */
+#ifndef FLOWGNN_POOL_DIE_POOL_H
+#define FLOWGNN_POOL_DIE_POOL_H
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace flowgnn {
+
+/** Per-die share of the pool's work, for utilization monitoring. */
+struct DieStats {
+    std::size_t leases = 0;   ///< tasks executed on this die
+    double busy_ms = 0.0;     ///< wall time spent leased
+    double utilization = 0.0; ///< busy_ms / pool uptime
+};
+
+/** One busy-count transition: after `t_ms` (since the pool's epoch),
+ * `busy` dies were leased. The sequence is the pool's occupancy
+ * timeline — the ground truth for "did jobs actually overlap". */
+struct OccupancyPoint {
+    double t_ms = 0.0;
+    std::size_t busy = 0;
+};
+
+/**
+ * D leasable dies. Lease accounting is thread-safe; the engines
+ * themselves are handed out by index and must only be driven by the
+ * die's current lease holder (the scheduler guarantees one task per
+ * die at a time).
+ */
+class DiePool
+{
+  public:
+    DiePool(const Model &model, EngineConfig engine_config,
+            std::uint32_t num_dies);
+
+    DiePool(const DiePool &) = delete;
+    DiePool &operator=(const DiePool &) = delete;
+
+    std::size_t size() const { return dies_.size(); }
+    Engine &engine(std::size_t die) { return dies_[die]->engine; }
+    RunWorkspace &workspace(std::size_t die) { return dies_[die]->ws; }
+
+    /** Restarts the uptime epoch (a paused scheduler calls this on
+     * start() so utilization ignores the parked interval). */
+    void reset_epoch();
+
+    /** Marks die `die` busy from now until release(). */
+    void lease(std::size_t die);
+    void release(std::size_t die);
+
+    std::size_t busy() const;
+    /** Highest number of simultaneously leased dies ever observed. */
+    std::size_t peak_busy() const;
+    double uptime_ms() const;
+
+    /** Per-die lease counts, busy time, and utilization of uptime. */
+    std::vector<DieStats> die_stats() const;
+
+    /** The most recent occupancy transitions (bounded window). */
+    std::vector<OccupancyPoint> occupancy_timeline() const;
+
+  private:
+    struct Die {
+        Die(const Model &model, EngineConfig config)
+            : engine(model, config)
+        {
+        }
+        Engine engine;
+        RunWorkspace ws;
+        std::chrono::steady_clock::time_point lease_start{};
+        DieStats stats;
+    };
+
+    void record_occupancy(std::chrono::steady_clock::time_point now);
+
+    std::vector<std::unique_ptr<Die>> dies_;
+
+    mutable std::mutex mutex_; // guards everything below
+    std::chrono::steady_clock::time_point epoch_;
+    std::size_t busy_ = 0;
+    std::size_t peak_busy_ = 0;
+    std::vector<OccupancyPoint> occupancy_; ///< ring of transitions
+    std::size_t occupancy_cursor_ = 0;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_POOL_DIE_POOL_H

@@ -1,0 +1,182 @@
+#include "pool/schedule_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace flowgnn {
+
+namespace {
+
+constexpr std::uint64_t kNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct JobState {
+    const SimJob *job = nullptr;
+    std::size_t next_task = 0;
+    std::size_t done_tasks = 0;
+    bool dispatched_any = false;
+
+    std::size_t
+    remaining() const
+    {
+        return job->task_cycles.size() - next_task;
+    }
+    bool
+    pending() const
+    {
+        return next_task < job->task_cycles.size();
+    }
+};
+
+} // namespace
+
+double
+SimResult::utilization() const
+{
+    if (makespan == 0 || die_busy.empty())
+        return 0.0;
+    std::uint64_t busy = 0;
+    for (std::uint64_t b : die_busy)
+        busy += b;
+    return static_cast<double>(busy) /
+           (static_cast<double>(die_busy.size()) *
+            static_cast<double>(makespan));
+}
+
+SimResult
+simulate_pool_schedule(const std::vector<SimJob> &jobs,
+                       std::uint32_t num_dies, PoolPolicy policy,
+                       std::uint64_t aging_cycles)
+{
+    if (num_dies == 0)
+        throw std::invalid_argument(
+            "simulate_pool_schedule: num_dies must be >= 1");
+    for (const SimJob &job : jobs) {
+        if (job.task_cycles.empty())
+            throw std::invalid_argument(
+                "simulate_pool_schedule: job with no tasks");
+        if (job.task_cycles.size() > num_dies)
+            throw std::invalid_argument(
+                "simulate_pool_schedule: job wider than the pool");
+    }
+
+    SimResult out;
+    out.die_busy.assign(num_dies, 0);
+    out.start_.assign(jobs.size(), 0);
+    out.finish_.assign(jobs.size(), 0);
+
+    std::vector<JobState> states(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        states[j].job = &jobs[j];
+
+    // free_at[d]: the cycle die d finishes its current task (0 = idle).
+    std::vector<std::uint64_t> free_at(num_dies, 0);
+    std::vector<std::size_t> die_job(num_dies, 0);
+    std::vector<bool> die_busy_now(num_dies, false);
+
+    // FIFO admission order = arrival order (stable for equal arrivals).
+    std::vector<std::size_t> order(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        order[j] = j;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return jobs[a].arrival < jobs[b].arrival;
+                     });
+
+    std::uint64_t now = 0;
+    std::size_t done_jobs = 0;
+    while (done_jobs < jobs.size()) {
+        // ---- Dispatch everything pickable at `now` (same selection
+        // rules as PoolScheduler::try_pick, re-evaluated after every
+        // dispatch because idle-die counts change). ----
+        for (;;) {
+            std::size_t idle = 0;
+            for (std::uint32_t d = 0; d < num_dies; ++d)
+                idle += !die_busy_now[d];
+            if (idle == 0)
+                break;
+
+            std::size_t pick = jobs.size(); // none
+            if (policy == PoolPolicy::kPriority) {
+                long best_eff = 0;
+                for (std::size_t j : order) {
+                    const JobState &st = states[j];
+                    if (!st.pending() || jobs[j].arrival > now)
+                        continue;
+                    long eff = jobs[j].priority;
+                    if (aging_cycles > 0)
+                        eff += static_cast<long>(
+                            (now - jobs[j].arrival) / aging_cycles);
+                    if (pick == jobs.size() || eff > best_eff) {
+                        pick = j;
+                        best_eff = eff;
+                    }
+                }
+            } else {
+                for (std::size_t j : order) {
+                    JobState &st = states[j];
+                    if (!st.pending() || jobs[j].arrival > now)
+                        continue;
+                    if (st.dispatched_any ||
+                        policy == PoolPolicy::kSpaceShare) {
+                        pick = j;
+                        break;
+                    }
+                    if (idle >= st.remaining()) {
+                        pick = j;
+                        break;
+                    }
+                    break; // gang head-of-line block
+                }
+            }
+            if (pick == jobs.size())
+                break;
+
+            JobState &st = states[pick];
+            if (!st.dispatched_any) {
+                st.dispatched_any = true;
+                out.start_[pick] = now;
+            }
+            std::uint64_t cycles = st.job->task_cycles[st.next_task++];
+            std::uint32_t die = 0;
+            while (die_busy_now[die])
+                ++die;
+            die_busy_now[die] = true;
+            free_at[die] = now + cycles;
+            die_job[die] = pick;
+            out.die_busy[die] += cycles;
+        }
+
+        // ---- Advance to the next event: a die completing or the
+        // next arrival that could unblock a dispatch. ----
+        std::uint64_t next = kNever;
+        for (std::uint32_t d = 0; d < num_dies; ++d)
+            if (die_busy_now[d])
+                next = std::min(next, free_at[d]);
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            if (states[j].pending() && jobs[j].arrival > now)
+                next = std::min(next, jobs[j].arrival);
+        if (next == kNever)
+            throw std::logic_error(
+                "simulate_pool_schedule: stalled schedule");
+        now = next;
+
+        for (std::uint32_t d = 0; d < num_dies; ++d) {
+            if (die_busy_now[d] && free_at[d] <= now) {
+                die_busy_now[d] = false;
+                JobState &st = states[die_job[d]];
+                ++st.done_tasks;
+                if (st.done_tasks == st.job->task_cycles.size()) {
+                    out.finish_[die_job[d]] = free_at[d];
+                    out.makespan =
+                        std::max(out.makespan, free_at[d]);
+                    ++done_jobs;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace flowgnn

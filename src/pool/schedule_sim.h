@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cycle-domain pool-schedule simulator: replays the PoolScheduler's
+ * dispatch policies over modeled task durations, with no threads and
+ * no wall clock. Given each job's per-task cycle counts (from isolated
+ * engine runs) it answers "what makespan and die utilization would
+ * this trace see under policy X" deterministically — the modeled
+ * counterpart of the live pool's wall-clock numbers, and the thing CI
+ * can assert on without timing flakiness.
+ */
+#ifndef FLOWGNN_POOL_SCHEDULE_SIM_H
+#define FLOWGNN_POOL_SCHEDULE_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pool/scheduler.h"
+
+namespace flowgnn {
+
+/** One job of a simulated trace. */
+struct SimJob {
+    /** Modeled duration of each shard task (cycles). Size = job width;
+     * must be <= the simulated die count. */
+    std::vector<std::uint64_t> task_cycles;
+    /** Submission time (cycles since trace start). */
+    std::uint64_t arrival = 0;
+    /** kPriority only. */
+    int priority = 0;
+};
+
+/** Outcome of one simulated schedule. */
+struct SimResult {
+    std::uint64_t makespan = 0; ///< last task completion (cycles)
+    std::vector<std::uint64_t> die_busy; ///< busy cycles per die
+    std::uint64_t job_start(std::size_t j) const { return start_[j]; }
+    std::uint64_t job_finish(std::size_t j) const { return finish_[j]; }
+
+    /** Fraction of die-cycles spent working: sum(busy) / (D * makespan). */
+    double utilization() const;
+
+    std::vector<std::uint64_t> start_;  ///< first dispatch per job
+    std::vector<std::uint64_t> finish_; ///< last completion per job
+};
+
+/**
+ * Simulates the trace under `policy` on `num_dies` dies with the same
+ * semantics as the live PoolScheduler: kFifoGang gang-starts jobs
+ * strictly in arrival order, kSpaceShare dispatches tasks
+ * work-conservingly in job-FIFO order, kPriority picks the highest
+ * effective priority (aging one step per `aging_cycles` waited;
+ * 0 disables aging). Throws if any job is wider than the pool.
+ */
+SimResult simulate_pool_schedule(const std::vector<SimJob> &jobs,
+                                 std::uint32_t num_dies,
+                                 PoolPolicy policy,
+                                 std::uint64_t aging_cycles = 0);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_POOL_SCHEDULE_SIM_H

@@ -1,0 +1,468 @@
+#include "pool/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/telemetry.h"
+
+namespace flowgnn {
+
+namespace {
+
+/** Queue-delay samples kept for percentile telemetry. */
+constexpr std::size_t kDelayWindow = 4096;
+
+} // namespace
+
+const char *
+pool_policy_name(PoolPolicy policy)
+{
+    switch (policy) {
+      case PoolPolicy::kFifoGang: return "fifo-gang";
+      case PoolPolicy::kSpaceShare: return "space-share";
+      case PoolPolicy::kPriority: return "priority";
+    }
+    return "unknown";
+}
+
+/** One admitted job: immutable inputs (prepared sample, plan, opts)
+ * plus mutable dispatch/completion state guarded by the scheduler
+ * mutex. Each task writes only its own results slot, so slices of one
+ * job can run on many dies without further synchronization. */
+struct PoolScheduler::Job {
+    enum class Deliver { kRun, kSharded };
+
+    bool sharded_path = false; ///< admitted via submit_sharded*
+    Deliver deliver = Deliver::kRun;
+    int priority = 0;
+    GraphSample prepared;
+    ShardPlan plan;
+    LinkConfig link{};
+    RunOptions opts;
+    std::vector<RunResult> results; ///< one slot per slice
+    std::size_t next_task = 0;
+    std::size_t done_tasks = 0;
+    bool dispatched_any = false;
+    std::exception_ptr error;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::promise<RunResult> run_promise;
+    std::promise<ShardedRunResult> sharded_promise;
+};
+
+PoolScheduler::PoolScheduler(const Model &model, EngineConfig engine_config,
+                             PoolConfig config)
+    : model_(model),
+      config_(config),
+      pool_(model, engine_config, config.num_dies)
+{
+    // Fail fast: a malformed config must never reach die threads.
+    config_.validate();
+    config_.run_options.validate();
+
+    started_ = !config_.start_paused;
+    die_threads_.reserve(pool_.size());
+    for (std::size_t d = 0; d < pool_.size(); ++d)
+        die_threads_.emplace_back([this, d] { die_loop(d); });
+}
+
+PoolScheduler::~PoolScheduler() { shutdown(); }
+
+void
+PoolScheduler::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_)
+            return;
+        started_ = true;
+    }
+    // Utilization should measure the serving interval, not the parked
+    // prefix tests use to build deterministic backlogs.
+    pool_.reset_epoch();
+    unpark_.notify_all();
+}
+
+bool
+PoolScheduler::try_pick(Dispatch &out)
+{
+    out.job.reset();
+    if (queue_.empty())
+        return false;
+    const std::size_t idle = pool_.size() - tasks_running_;
+
+    switch (config_.policy) {
+      case PoolPolicy::kSpaceShare: {
+        // Work-conserving: the queue only holds jobs with undispatched
+        // tasks, so the FIFO head always yields one. Later jobs
+        // backfill automatically once earlier ones are fully
+        // dispatched (and therefore popped).
+        out.job = queue_.front();
+        break;
+      }
+      case PoolPolicy::kFifoGang: {
+        // Jobs start strictly in order, each only when its full width
+        // is simultaneously free. A started job's remaining tasks go
+        // first; an unstarted head that does not fit blocks the scan
+        // (that is the policy's head-of-line cost).
+        for (const JobPtr &job : queue_) {
+            if (job->dispatched_any) {
+                out.job = job;
+                break;
+            }
+            std::size_t remaining =
+                job->results.size() - job->next_task;
+            if (idle >= remaining) {
+                out.job = job;
+                break;
+            }
+            return false;
+        }
+        break;
+      }
+      case PoolPolicy::kPriority: {
+        auto now = std::chrono::steady_clock::now();
+        long best_eff = 0;
+        for (const JobPtr &job : queue_) {
+            long eff = job->priority;
+            if (config_.aging_ms > 0.0)
+                eff += static_cast<long>(
+                    ms_between(job->enqueued, now) / config_.aging_ms);
+            // Strict > keeps FIFO order among ties (queue_ is FIFO).
+            if (!out.job || eff > best_eff) {
+                out.job = job;
+                best_eff = eff;
+            }
+        }
+        break;
+      }
+    }
+    if (!out.job)
+        return false;
+    out.task = out.job->next_task;
+    return true;
+}
+
+void
+PoolScheduler::die_loop(std::size_t die)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    unpark_.wait(lock, [&] { return started_ || shutdown_; });
+
+    for (;;) {
+        Dispatch d;
+        work_.wait(lock, [&] { return shutdown_ || try_pick(d); });
+        if (!d.job) {
+            if (shutdown_)
+                return;
+            continue;
+        }
+
+        // ---- Dispatch d.task of d.job onto this die. ----
+        Job &job = *d.job;
+        if (!job.dispatched_any) {
+            job.dispatched_any = true;
+            double delay = ms_between(job.enqueued,
+                                    std::chrono::steady_clock::now());
+            if (queue_delays_ms_.size() < kDelayWindow) {
+                queue_delays_ms_.push_back(delay);
+            } else {
+                queue_delays_ms_[queue_delay_cursor_] = delay;
+                queue_delay_cursor_ =
+                    (queue_delay_cursor_ + 1) % kDelayWindow;
+            }
+        }
+        ++job.next_task;
+        ++tasks_running_;
+        if (job.next_task == job.results.size()) {
+            // Fully dispatched: leaves the pending queue (freeing
+            // admission capacity) while its tasks finish on the dies.
+            queue_.erase(
+                std::find(queue_.begin(), queue_.end(), d.job));
+            admit_.notify_one();
+        }
+        // Other idle dies may now have work (e.g. the rest of a
+        // gang-started job's tasks).
+        work_.notify_all();
+        pool_.lease(die);
+        lock.unlock();
+
+        bool ok = true;
+        RunResult result;
+        std::exception_ptr error;
+        try {
+            Engine &engine = pool_.engine(die);
+            RunWorkspace &ws = pool_.workspace(die);
+            result = job.plan.sharded
+                ? engine.run_prepared(job.plan.slices[d.task].sub,
+                                      job.opts, ws)
+                : engine.run_prepared(job.prepared, job.opts, ws);
+        } catch (...) {
+            ok = false;
+            error = std::current_exception();
+        }
+        pool_.release(die);
+
+        lock.lock();
+        --tasks_running_;
+        job.results[d.task] = std::move(result);
+        if (!ok && !job.error)
+            job.error = error;
+        ++job.done_tasks;
+        bool job_done = job.done_tasks == job.results.size();
+        // A die freed up: gang starts that did not fit may fit now.
+        work_.notify_all();
+        if (job_done) {
+            lock.unlock();
+            finalize(d.job); // merge is real work; never under the lock
+            lock.lock();
+        }
+    }
+}
+
+void
+PoolScheduler::finalize(const JobPtr &jobp)
+{
+    Job &job = *jobp;
+    bool ok = !job.error;
+    ShardedRunResult merged;
+    if (ok) {
+        try {
+            merged = merge_shard_results(model_, job.prepared,
+                                         std::move(job.plan),
+                                         std::move(job.results),
+                                         job.link);
+        } catch (...) {
+            ok = false;
+            job.error = std::current_exception();
+        }
+    }
+
+    // Count the completion BEFORE fulfilling the promise, so a caller
+    // that checks stats() right after future.get() sees it.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PoolPathStats &path = job.sharded_path ? sharded_ : fast_;
+        path.completed += ok;
+        path.failed += !ok;
+    }
+    idle_.notify_all();
+
+    if (job.deliver == Job::Deliver::kSharded) {
+        if (ok)
+            job.sharded_promise.set_value(std::move(merged));
+        else
+            job.sharded_promise.set_exception(job.error);
+    } else {
+        if (ok) {
+            RunResult run;
+            run.embeddings = std::move(merged.embeddings);
+            run.prediction = merged.prediction;
+            run.stats = std::move(merged.stats);
+            job.run_promise.set_value(std::move(run));
+        } else {
+            job.run_promise.set_exception(job.error);
+        }
+    }
+}
+
+void
+PoolScheduler::admit(const JobPtr &job, PoolPathStats &path)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            throw std::logic_error(
+                "PoolScheduler: submit after shutdown");
+        if (config_.admission == AdmissionPolicy::kReject) {
+            if (queue_.size() >= config_.queue_capacity) {
+                ++path.rejected;
+                throw ServiceOverloaded();
+            }
+        } else if (queue_.size() >= config_.queue_capacity) {
+            ++blocked_producers_;
+            admit_.wait(lock, [&] {
+                return closed_ ||
+                       queue_.size() < config_.queue_capacity;
+            });
+            --blocked_producers_;
+            if (closed_)
+                throw std::logic_error(
+                    "PoolScheduler: submit after shutdown");
+        }
+        ++path.submitted;
+        job->enqueued = std::chrono::steady_clock::now();
+        queue_.push_back(job);
+    }
+    work_.notify_all();
+}
+
+std::future<RunResult>
+PoolScheduler::enqueue_fast(GraphSample sample, const RunOptions &opts,
+                            int priority)
+{
+    opts.validate();
+    auto job = std::make_shared<Job>();
+    job->priority = priority;
+    job->opts = opts;
+    // Preparing on the submitting thread keeps dies lease-time pure
+    // compute; run_prepared(prepare(s)) is exactly Engine::run(s), so
+    // the fast path stays bit-identical to a sequential engine loop.
+    job->prepared = model_.prepare(sample);
+    if (!job->prepared.consistent())
+        throw std::invalid_argument("PoolScheduler: inconsistent sample");
+    ShardConfig whole;
+    whole.num_shards = 1;
+    job->plan = make_shard_plan(model_, job->prepared, whole);
+    job->results.resize(job->plan.slices.size());
+    std::future<RunResult> future = job->run_promise.get_future();
+    admit(job, fast_);
+    return future;
+}
+
+std::future<RunResult>
+PoolScheduler::submit(GraphSample sample, int priority)
+{
+    return enqueue_fast(std::move(sample), config_.run_options,
+                        priority);
+}
+
+std::future<RunResult>
+PoolScheduler::submit(GraphSample sample, const RunOptions &opts,
+                      int priority)
+{
+    return enqueue_fast(std::move(sample), opts, priority);
+}
+
+std::future<ShardedRunResult>
+PoolScheduler::submit_sharded(GraphSample sample, const ShardConfig &shard,
+                              int priority)
+{
+    return submit_sharded(std::move(sample), shard,
+                          config_.run_options, priority);
+}
+
+namespace {
+
+/** A job can never be wider than the pool (a gang that needs more
+ * dies than exist would deadlock kFifoGang). */
+ShardConfig
+clamp_to_pool(const ShardConfig &shard, std::size_t num_dies)
+{
+    ShardConfig clamped = shard;
+    clamped.validate();
+    clamped.num_shards = static_cast<std::uint32_t>(std::min<std::size_t>(
+        clamped.num_shards, num_dies));
+    return clamped;
+}
+
+} // namespace
+
+PoolScheduler::JobPtr
+PoolScheduler::make_sharded_job(GraphSample sample,
+                                const ShardConfig &shard,
+                                const RunOptions &opts, int priority,
+                                bool deliver_sharded)
+{
+    opts.validate();
+    ShardConfig clamped = clamp_to_pool(shard, pool_.size());
+    auto job = std::make_shared<Job>();
+    job->sharded_path = true;
+    job->deliver = deliver_sharded ? Job::Deliver::kSharded
+                                   : Job::Deliver::kRun;
+    job->priority = priority;
+    job->opts = opts;
+    job->link = clamped.link;
+    job->prepared = model_.prepare(sample);
+    if (!job->prepared.consistent())
+        throw std::invalid_argument("PoolScheduler: inconsistent sample");
+    job->plan = make_shard_plan(model_, job->prepared, clamped);
+    job->results.resize(job->plan.slices.size());
+    return job;
+}
+
+std::future<ShardedRunResult>
+PoolScheduler::submit_sharded(GraphSample sample, const ShardConfig &shard,
+                              const RunOptions &opts, int priority)
+{
+    JobPtr job = make_sharded_job(std::move(sample), shard, opts,
+                                  priority, /*deliver_sharded=*/true);
+    std::future<ShardedRunResult> future =
+        job->sharded_promise.get_future();
+    admit(job, sharded_);
+    return future;
+}
+
+std::future<RunResult>
+PoolScheduler::submit_sharded_as_run(GraphSample sample,
+                                     const ShardConfig &shard,
+                                     const RunOptions &opts, int priority)
+{
+    JobPtr job = make_sharded_job(std::move(sample), shard, opts,
+                                  priority, /*deliver_sharded=*/false);
+    std::future<RunResult> future = job->run_promise.get_future();
+    admit(job, sharded_);
+    return future;
+}
+
+void
+PoolScheduler::drain()
+{
+    start(); // a paused pool would otherwise never become idle
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] {
+        return fast_.completed + fast_.failed == fast_.submitted &&
+               sharded_.completed + sharded_.failed ==
+                   sharded_.submitted;
+    });
+}
+
+void
+PoolScheduler::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+    }
+    admit_.notify_all(); // blocked producers observe closed_ and throw
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_.notify_all();
+    unpark_.notify_all();
+    for (std::thread &die : die_threads_)
+        die.join();
+}
+
+PoolStats
+PoolScheduler::stats() const
+{
+    PoolStats out;
+    std::vector<double> delays;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.fast = fast_;
+        out.sharded = sharded_;
+        out.jobs_pending = queue_.size();
+        out.tasks_running = tasks_running_;
+        out.blocked_producers = blocked_producers_;
+        out.queue_capacity = config_.queue_capacity;
+        delays = queue_delays_ms_;
+    }
+    // Sort outside the lock: a polling monitor must not stall
+    // dispatch for an O(n log n) pass over the delay window.
+    std::sort(delays.begin(), delays.end());
+    out.queue_delay_p50_ms = percentile(delays, 0.50);
+    out.queue_delay_p95_ms = percentile(delays, 0.95);
+    out.queue_delay_p99_ms = percentile(delays, 0.99);
+    out.uptime_ms = pool_.uptime_ms();
+    out.peak_busy_dies = pool_.peak_busy();
+    out.dies = pool_.die_stats();
+    out.occupancy = pool_.occupancy_timeline();
+    return out;
+}
+
+} // namespace flowgnn

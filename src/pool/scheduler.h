@@ -1,0 +1,236 @@
+/**
+ * @file
+ * flowgnn::pool — PoolScheduler: admits jobs and schedules their
+ * shard tasks onto a DiePool.
+ *
+ * A job is one graph: either a whole-graph job (one die, the small
+ * graph fast path) or a sharded job (a ShardPlan of P <= D slices).
+ * Because slices are independent engine runs, the scheduler is free to
+ * interleave slices of *different* graphs across the pool — the
+ * property that keeps a multi-die machine busy when no single job can
+ * use every die. Results are bit-identical to isolated runs regardless
+ * of policy or interleaving: every die is a deterministic
+ * cycle-stepped engine and the merge is a pure function of the
+ * per-slice results.
+ *
+ * Policies:
+ *  - kFifoGang:  jobs start strictly in submission order, and a job
+ *    starts only when its full width in dies is free at once (gang
+ *    scheduling). A wide job at the head blocks everything behind it,
+ *    idling dies — the baseline batch-scheduler behaviour.
+ *  - kSpaceShare: work-conserving space sharing. Tasks dispatch in
+ *    job-FIFO order as dies free up; when the head job has every task
+ *    running, later jobs backfill the remaining dies. A die never
+ *    idles while any task is pending.
+ *  - kPriority:  like kSpaceShare but the next task comes from the
+ *    job with the highest effective priority, which ages upward the
+ *    longer the job waits (no starvation); ties break FIFO.
+ *
+ * Admission mirrors flowgnn::serve end to end: the pending-job queue
+ * is bounded, and a full queue either blocks the producer
+ * (AdmissionPolicy::kBlock) or sheds the job (kReject +
+ * ServiceOverloaded). Planning (partitioning + halo extraction) runs
+ * on the submitting thread, so an admitted job's exact width is known
+ * to the scheduler and dies never burn lease time on planning.
+ */
+#ifndef FLOWGNN_POOL_SCHEDULER_H
+#define FLOWGNN_POOL_SCHEDULER_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "pool/die_pool.h"
+#include "serve/service.h"
+#include "shard/shard_plan.h"
+
+namespace flowgnn {
+
+/** How pending tasks are matched to free dies. */
+enum class PoolPolicy {
+    kFifoGang,
+    kSpaceShare,
+    kPriority,
+};
+
+/** Human-readable policy name. */
+const char *pool_policy_name(PoolPolicy policy);
+
+/** Deployment shape of a PoolScheduler. */
+struct PoolConfig {
+    /** Dies in the pool (engine replicas, one host thread each). */
+    std::uint32_t num_dies = 4;
+    PoolPolicy policy = PoolPolicy::kSpaceShare;
+    /** Bounded pending-job queue (jobs with undispatched tasks). */
+    std::size_t queue_capacity = 64;
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
+    /** Default per-run options; submit() overloads can override. */
+    RunOptions run_options{};
+    /** kPriority aging: one effective-priority step per this many
+     * milliseconds a job has waited. <= 0 disables aging. */
+    double aging_ms = 25.0;
+    /** Construct dies parked; nothing dispatches until start(). */
+    bool start_paused = false;
+
+    void
+    validate() const
+    {
+        if (num_dies == 0)
+            throw std::invalid_argument(
+                "PoolConfig: num_dies must be >= 1");
+        if (queue_capacity == 0)
+            throw std::invalid_argument(
+                "PoolConfig: queue_capacity must be >= 1");
+    }
+};
+
+/** Admission/completion counters for one submit path. */
+struct PoolPathStats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t rejected = 0;
+};
+
+/** Aggregate pool telemetry since construction (or last start()). */
+struct PoolStats {
+    PoolPathStats fast;    ///< whole-graph (one-die) jobs
+    PoolPathStats sharded; ///< multi-slice jobs
+    std::size_t jobs_pending = 0;  ///< jobs with undispatched tasks
+    std::size_t tasks_running = 0; ///< slices currently on dies
+    /** Producers blocked in submit() right now (kBlock backpressure;
+     * the deterministic sync point tests use instead of sleeping). */
+    std::size_t blocked_producers = 0;
+    std::size_t queue_capacity = 0;
+    double uptime_ms = 0.0;
+    /** Submit-to-first-dispatch wall delay percentiles (ms) over a
+     * sliding window of recent jobs. */
+    double queue_delay_p50_ms = 0.0;
+    double queue_delay_p95_ms = 0.0;
+    double queue_delay_p99_ms = 0.0;
+    /** Highest number of simultaneously busy dies observed. */
+    std::size_t peak_busy_dies = 0;
+    std::vector<DieStats> dies;
+    std::vector<OccupancyPoint> occupancy;
+
+    std::size_t
+    submitted() const
+    {
+        return fast.submitted + sharded.submitted;
+    }
+    std::size_t
+    completed() const
+    {
+        return fast.completed + sharded.completed;
+    }
+};
+
+/**
+ * Schedules jobs over a DiePool. The model must outlive the
+ * scheduler; destruction drains accepted work, then joins the dies.
+ */
+class PoolScheduler
+{
+  public:
+    PoolScheduler(const Model &model, EngineConfig engine_config = {},
+                  PoolConfig config = {});
+    ~PoolScheduler();
+
+    PoolScheduler(const PoolScheduler &) = delete;
+    PoolScheduler &operator=(const PoolScheduler &) = delete;
+
+    /** Unparks the dies (no-op when already running). */
+    void start();
+
+    /**
+     * Admits one whole-graph job (one die). The future carries the
+     * RunResult — bit-identical to Engine::run on the same sample —
+     * or the run's exception. `priority` matters under kPriority.
+     */
+    std::future<RunResult> submit(GraphSample sample, int priority = 0);
+    std::future<RunResult> submit(GraphSample sample,
+                                  const RunOptions &opts,
+                                  int priority = 0);
+
+    /**
+     * Admits one sharded job: the sample is planned into
+     * min(shard.num_shards, num_dies) slices (clamped so a job can
+     * never be wider than the pool) and its tasks dispatch per the
+     * pool policy. The future carries the merged ShardedRunResult —
+     * identical to ShardedEngine::run with the same clamped config.
+     */
+    std::future<ShardedRunResult> submit_sharded(GraphSample sample,
+                                                 const ShardConfig &shard,
+                                                 int priority = 0);
+    std::future<ShardedRunResult> submit_sharded(GraphSample sample,
+                                                 const ShardConfig &shard,
+                                                 const RunOptions &opts,
+                                                 int priority = 0);
+
+    /**
+     * Sharded admission that delivers the merged answer as a plain
+     * RunResult (per-die breakdown dropped) — used by routing layers
+     * (ShardedService) so both paths hand back one future type.
+     */
+    std::future<RunResult> submit_sharded_as_run(GraphSample sample,
+                                                 const ShardConfig &shard,
+                                                 const RunOptions &opts,
+                                                 int priority = 0);
+
+    /** Blocks until every accepted job has completed. */
+    void drain();
+
+    /** Drains, stops admission, joins the dies (idempotent). */
+    void shutdown();
+
+    PoolStats stats() const;
+
+    std::size_t num_dies() const { return pool_.size(); }
+    const DiePool &pool() const { return pool_; }
+
+  private:
+    struct Job;
+    using JobPtr = std::shared_ptr<Job>;
+    struct Dispatch {
+        JobPtr job;
+        std::size_t task = 0;
+    };
+
+    std::future<RunResult> enqueue_fast(GraphSample sample,
+                                        const RunOptions &opts,
+                                        int priority);
+    JobPtr make_sharded_job(GraphSample sample, const ShardConfig &shard,
+                            const RunOptions &opts, int priority,
+                            bool deliver_sharded);
+    void admit(const JobPtr &job, PoolPathStats &path);
+    void die_loop(std::size_t die);
+    bool try_pick(Dispatch &out);
+    void finalize(const JobPtr &job);
+
+    const Model &model_;
+    PoolConfig config_;
+    DiePool pool_;
+    std::vector<std::thread> die_threads_;
+
+    mutable std::mutex mutex_; // guards everything below
+    std::condition_variable work_;   ///< dies: task may be pickable
+    std::condition_variable admit_;  ///< producers: queue may have room
+    std::condition_variable idle_;   ///< drain(): a job finished
+    std::condition_variable unpark_; ///< start()
+    bool started_ = false;
+    bool closed_ = false;   ///< no new submissions
+    bool shutdown_ = false; ///< dies may exit
+    std::deque<JobPtr> queue_; ///< jobs with undispatched tasks, FIFO
+    std::size_t tasks_running_ = 0;
+    std::size_t blocked_producers_ = 0;
+    PoolPathStats fast_;
+    PoolPathStats sharded_;
+    std::vector<double> queue_delays_ms_; ///< ring of recent delays
+    std::size_t queue_delay_cursor_ = 0;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_POOL_SCHEDULER_H

@@ -1,8 +1,9 @@
 #include "serve/service.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
+
+#include "core/telemetry.h"
 
 namespace flowgnn {
 
@@ -13,26 +14,6 @@ namespace {
  * neither grows without bound nor sorts an ever-larger vector under
  * its mutex on every stats() call. */
 constexpr std::size_t kLatencyWindow = 4096;
-
-/** Nearest-rank percentile of an already-sorted sample vector. */
-double
-percentile(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::size_t rank = static_cast<std::size_t>(
-        std::ceil(p * static_cast<double>(sorted.size())));
-    if (rank == 0)
-        rank = 1;
-    return sorted[std::min(rank, sorted.size()) - 1];
-}
-
-double
-ms_between(std::chrono::steady_clock::time_point a,
-           std::chrono::steady_clock::time_point b)
-{
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 } // namespace
 

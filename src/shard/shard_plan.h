@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Shard planning and merging: the reusable core of multi-die
+ * execution, shared by ShardedEngine (one job, all dies) and the
+ * flowgnn::pool scheduler (many jobs interleaved over a die pool).
+ *
+ * A plan splits one prepared GraphSample into P die-local slices
+ * (owned nodes + L-hop halo closure, L = the model's message-passing
+ * depth) and prices each slice's halo fetch over the inter-die link.
+ * Each slice is an independent engine run; merging the per-slice
+ * results reproduces the single-engine answer (bit-identically with
+ * one NT unit, since closures preserve ascending global id order).
+ * Keeping planning separate from execution is what lets a scheduler
+ * dispatch slices of *different* graphs onto whichever dies are free.
+ */
+#ifndef FLOWGNN_SHARD_SHARD_PLAN_H
+#define FLOWGNN_SHARD_SHARD_PLAN_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/partition.h"
+
+namespace flowgnn {
+
+/** Inter-die link model (point-to-point, per die). */
+struct LinkConfig {
+    /** Words (4-byte) transferred per kernel cycle. Deliberately a
+     * fraction of the 64 words/cycle HBM ingest the engine models:
+     * die-to-die serial links are narrower than local memory. */
+    std::uint32_t words_per_cycle = 16;
+    /** Fixed per-transfer latency (link setup + flight time). */
+    std::uint64_t latency_cycles = 500;
+    /**
+     * Overlap the halo fetch with the die's input DMA instead of
+     * serializing it in front of compute: the per-die chain becomes
+     * max(comm, load_prefix) + compute_remainder (see
+     * compose_shard_stats). Off by default — the conservative model
+     * where the link transfer must finish before the die starts.
+     */
+    bool overlap = false;
+
+    void
+    validate() const
+    {
+        if (words_per_cycle == 0)
+            throw std::invalid_argument(
+                "LinkConfig: words_per_cycle must be >= 1");
+    }
+};
+
+/** Scale-out shape of a sharded job. */
+struct ShardConfig {
+    /** Number of dies. 1 degenerates to single-engine execution. */
+    std::uint32_t num_shards = 2;
+    ShardStrategy strategy = ShardStrategy::kContiguous;
+    LinkConfig link{};
+
+    void
+    validate() const
+    {
+        if (num_shards == 0)
+            throw std::invalid_argument(
+                "ShardConfig: num_shards must be >= 1");
+        link.validate();
+    }
+};
+
+/** Per-die breakdown of one sharded run. */
+struct ShardInfo {
+    std::uint32_t shard = 0;
+    std::size_t owned_nodes = 0;
+    std::size_t halo_nodes = 0;      ///< replicated (ghost) nodes
+    std::size_t subgraph_edges = 0;  ///< edges in the die's subgraph
+    std::size_t fetched_edges = 0;   ///< subgraph edges not owned here
+    std::uint64_t halo_words = 0;    ///< words over the inter-die link
+    std::uint64_t comm_cycles = 0;   ///< halo fetch charged to this die
+    RunStats stats;                  ///< the die's own engine stats
+};
+
+/** Output of one sharded run: the merged single-graph answer plus the
+ * per-die breakdown and the partition-quality metrics. */
+struct ShardedRunResult {
+    /** Final node embeddings [num_nodes x embedding_dim], merged from
+     * the owning die of every node. */
+    Matrix embeddings;
+    /** Graph-level prediction from the pooled head over the merge. */
+    float prediction = 0.0f;
+    /** Composed multi-die statistics (see compose_shard_stats). */
+    RunStats stats;
+    std::vector<ShardInfo> shards;
+    std::size_t cut_edges = 0;
+    double replication_factor = 1.0;
+
+    double
+    latency_ms() const
+    {
+        return stats.latency_ms();
+    }
+};
+
+/**
+ * One die's share of a sharded job: the closure node list (ascending
+ * global ids), the extracted subgraph sample the die actually runs,
+ * and the halo-fetch price. For a non-sharded plan the slice carries
+ * bookkeeping only and executors run the full prepared sample.
+ */
+struct ShardSlice {
+    std::vector<NodeId> nodes; ///< closure, ascending global ids
+    GraphSample sub;           ///< die-local subgraph (sharded plans)
+    ShardInfo info;
+};
+
+/**
+ * The execution recipe for one graph across up to P dies. Slices are
+ * independent: any die can run any slice at any time, which is the
+ * property the pool scheduler exploits to interleave jobs.
+ */
+struct ShardPlan {
+    /** False: the job runs whole on a single die (num_shards == 1,
+     * virtual-node models, or empty graphs) and `slices` holds one
+     * bookkeeping-only entry. */
+    bool sharded = false;
+    std::vector<ShardSlice> slices; ///< >= 1; only non-empty closures
+    std::vector<std::uint32_t> assignment; ///< node -> shard owner
+    std::uint32_t hops = 0;                ///< halo depth used
+    std::size_t cut_edges = 0;
+    double replication_factor = 1.0;
+};
+
+/**
+ * The model's message-passing depth: how many stages consume neighbor
+ * state, i.e. how many hops of halo a shard needs for exact owned-node
+ * recomputation.
+ */
+std::uint32_t message_hops(const Model &model);
+
+/**
+ * Plans one prepared sample (Model::prepare already applied) across
+ * `config.num_shards` dies. Falls back to a single-die plan for
+ * virtual-node models (the VN's 1-hop halo is the whole graph), one
+ * shard, or empty graphs. Shards whose closure is empty (more shards
+ * than nodes) are dropped, so the plan may hold fewer slices than
+ * requested.
+ */
+ShardPlan make_shard_plan(const Model &model, const GraphSample &prepared,
+                          const ShardConfig &config);
+
+/**
+ * Merges per-slice engine results (same order as plan.slices) into the
+ * single-graph answer: owned-node embeddings, pooled head prediction,
+ * and composed multi-die RunStats (overlap mode per `link.overlap`).
+ * Consumes the plan's slice metadata into the result's breakdown.
+ */
+ShardedRunResult merge_shard_results(const Model &model,
+                                     const GraphSample &prepared,
+                                     ShardPlan &&plan,
+                                     std::vector<RunResult> &&results,
+                                     const LinkConfig &link);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_SHARD_SHARD_PLAN_H

@@ -1,30 +1,10 @@
 #include "shard/sharded_engine.h"
 
-#include <algorithm>
 #include <exception>
 #include <thread>
+#include <utility>
 
 namespace flowgnn {
-
-namespace {
-
-std::uint64_t
-ceil_div(std::uint64_t a, std::uint64_t b)
-{
-    return (a + b - 1) / b;
-}
-
-constexpr std::uint32_t kNotLocal = 0xFFFFFFFFu;
-
-/** Everything one die needs for its run. */
-struct ShardTask {
-    std::vector<NodeId> nodes; ///< closure, ascending global ids
-    GraphSample sub;
-    ShardInfo info;
-    RunResult result;
-};
-
-} // namespace
 
 ShardedEngine::ShardedEngine(const Model &model, EngineConfig engine_config,
                              ShardConfig shard_config)
@@ -37,14 +17,7 @@ ShardedEngine::ShardedEngine(const Model &model, EngineConfig engine_config,
 std::uint32_t
 ShardedEngine::message_hops(const Model &model)
 {
-    // Every stage that consumes neighbor state widens the receptive
-    // field by one hop: NT-to-MP convs via their aggregated messages,
-    // GAT via its gather rounds. Encoder-style stages (msg_dim == 0)
-    // are node-local.
-    std::uint32_t hops = 0;
-    for (std::size_t i = 0; i < model.num_stages(); ++i)
-        hops += model.stage(i).msg_dim() > 0;
-    return hops;
+    return flowgnn::message_hops(model);
 }
 
 ShardedRunResult
@@ -55,181 +28,41 @@ ShardedEngine::run(const GraphSample &sample, const RunOptions &opts) const
     if (!prepared.consistent())
         throw std::invalid_argument("ShardedEngine: inconsistent sample");
 
-    const NodeId n_nodes = prepared.num_nodes();
-    const std::uint32_t num_shards = shard_config_.num_shards;
+    ShardPlan plan = make_shard_plan(model_, prepared, shard_config_);
+    std::vector<RunResult> results(plan.slices.size());
 
-    // The virtual node is bidirectionally connected to every node, so
-    // any shard's 1-hop halo is the whole graph: replication would be
-    // total. Such models keep the single-die path.
-    if (num_shards == 1 || model_.uses_virtual_node() || n_nodes == 0) {
+    if (!plan.sharded) {
         RunWorkspace ws;
-        RunResult r = engine_.run_prepared(prepared, opts, ws);
-        ShardedRunResult out;
-        out.embeddings = std::move(r.embeddings);
-        out.prediction = r.prediction;
-        ShardInfo info;
-        info.owned_nodes = n_nodes;
-        info.subgraph_edges = prepared.num_edges();
-        info.stats = r.stats;
-        out.shards.push_back(std::move(info));
-        out.stats = std::move(r.stats);
-        return out;
+        results[0] = engine_.run_prepared(prepared, opts, ws);
+    } else {
+        // ---- Run every die concurrently (the host-thread analogue of
+        // P dies computing in parallel). Engine::run_prepared is const
+        // and each thread owns its workspace. ----
+        std::vector<std::exception_ptr> errors(plan.slices.size());
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(plan.slices.size());
+            for (std::size_t t = 0; t < plan.slices.size(); ++t) {
+                threads.emplace_back([&, t] {
+                    try {
+                        RunWorkspace ws;
+                        results[t] = engine_.run_prepared(
+                            plan.slices[t].sub, opts, ws);
+                    } catch (...) {
+                        errors[t] = std::current_exception();
+                    }
+                });
+            }
+            for (std::thread &th : threads)
+                th.join();
+        }
+        for (const std::exception_ptr &err : errors)
+            if (err)
+                std::rethrow_exception(err);
     }
 
-    const std::vector<std::uint32_t> assignment = shard_assignment(
-        prepared.graph, num_shards, shard_config_.strategy);
-    const std::uint32_t hops = message_hops(model_);
-    const CscGraph csc(prepared.graph);
-
-    const std::size_t node_dim = prepared.node_dim();
-    const std::size_t edge_dim = prepared.edge_dim();
-
-    // Full-graph degrees ship with every replicated node: a halo
-    // node's local edge list is incomplete, and degree-normalized
-    // layers (GCN/SGC) must see the true degrees.
-    const std::vector<std::uint32_t> global_in_deg =
-        prepared.graph.in_degrees();
-    const std::vector<std::uint32_t> global_out_deg =
-        prepared.graph.out_degrees();
-
-    // ---- Extract each die's subgraph (closure in ascending global id
-    // order, so a single-NT-unit die reproduces the full graph's
-    // src-major message arrival order bit for bit). ----
-    std::vector<ShardTask> tasks;
-    tasks.reserve(num_shards);
-    std::vector<std::uint32_t> local_of(n_nodes, kNotLocal);
-    std::size_t closure_total = 0;
-    for (std::uint32_t s = 0; s < num_shards; ++s) {
-        ShardTask task;
-        task.info.shard = s;
-        task.nodes = shard_closure(csc, assignment, s, hops);
-        closure_total += task.nodes.size();
-        if (task.nodes.empty())
-            continue; // nothing owned here (more shards than nodes)
-
-        for (std::uint32_t i = 0; i < task.nodes.size(); ++i)
-            local_of[task.nodes[i]] = i;
-
-        GraphSample &sub = task.sub;
-        sub.graph.num_nodes = static_cast<NodeId>(task.nodes.size());
-        sub.node_features = Matrix(task.nodes.size(), node_dim);
-        for (std::size_t i = 0; i < task.nodes.size(); ++i)
-            sub.node_features.set_row(
-                i, prepared.node_features.row_vec(task.nodes[i]));
-        if (!prepared.dgn_field.empty()) {
-            sub.dgn_field.resize(task.nodes.size());
-            for (std::size_t i = 0; i < task.nodes.size(); ++i)
-                sub.dgn_field[i] = prepared.dgn_field[task.nodes[i]];
-        }
-        sub.true_in_deg.resize(task.nodes.size());
-        sub.true_out_deg.resize(task.nodes.size());
-        for (std::size_t i = 0; i < task.nodes.size(); ++i) {
-            sub.true_in_deg[i] = global_in_deg[task.nodes[i]];
-            sub.true_out_deg[i] = global_out_deg[task.nodes[i]];
-        }
-
-        // Induced edges, preserving global edge order (keeps per-row
-        // CSR order identical to the full graph's).
-        std::vector<EdgeId> kept;
-        for (EdgeId e = 0; e < prepared.graph.edges.size(); ++e) {
-            const Edge &edge = prepared.graph.edges[e];
-            if (local_of[edge.src] == kNotLocal ||
-                local_of[edge.dst] == kNotLocal)
-                continue;
-            kept.push_back(e);
-            sub.graph.edges.push_back(
-                {local_of[edge.src], local_of[edge.dst]});
-            task.info.fetched_edges += assignment[edge.src] != s;
-        }
-        if (edge_dim > 0) {
-            sub.edge_features = Matrix(kept.size(), edge_dim);
-            for (std::size_t i = 0; i < kept.size(); ++i)
-                sub.edge_features.set_row(
-                    i, prepared.edge_features.row_vec(kept[i]));
-        }
-
-        task.info.subgraph_edges = kept.size();
-        for (NodeId g : task.nodes)
-            task.info.owned_nodes += assignment[g] == s;
-        task.info.halo_nodes =
-            task.nodes.size() - task.info.owned_nodes;
-
-        // Halo fetch: the die owns its nodes' features and the edges
-        // sourced at them; everything else in its subgraph crosses the
-        // inter-die link once. Per halo node: features + id + its two
-        // true degrees (+ the DGN field scalar when shipped); per
-        // fetched edge: endpoints + features.
-        std::uint64_t halo_node_words =
-            node_dim + 3 + !prepared.dgn_field.empty();
-        std::uint64_t words =
-            std::uint64_t(task.info.halo_nodes) * halo_node_words +
-            std::uint64_t(task.info.fetched_edges) * (edge_dim + 2);
-        if (words > 0)
-            task.info.comm_cycles =
-                ceil_div(words, shard_config_.link.words_per_cycle) +
-                shard_config_.link.latency_cycles;
-
-        for (NodeId g : task.nodes)
-            local_of[g] = kNotLocal; // reset for the next shard
-        tasks.push_back(std::move(task));
-    }
-
-    // ---- Run every die concurrently (the host-thread analogue of P
-    // dies computing in parallel). Engine::run_prepared is const and
-    // each thread owns its workspace. ----
-    std::vector<std::exception_ptr> errors(tasks.size());
-    {
-        std::vector<std::thread> threads;
-        threads.reserve(tasks.size());
-        for (std::size_t t = 0; t < tasks.size(); ++t) {
-            threads.emplace_back([&, t] {
-                try {
-                    RunWorkspace ws;
-                    tasks[t].result =
-                        engine_.run_prepared(tasks[t].sub, opts, ws);
-                } catch (...) {
-                    errors[t] = std::current_exception();
-                }
-            });
-        }
-        for (std::thread &th : threads)
-            th.join();
-    }
-    for (const std::exception_ptr &err : errors)
-        if (err)
-            std::rethrow_exception(err);
-
-    // ---- Merge: each node's embedding comes from its owning die. ----
-    ShardedRunResult out;
-    out.embeddings = Matrix(n_nodes, model_.embedding_dim());
-    for (ShardTask &task : tasks) {
-        for (std::size_t i = 0; i < task.nodes.size(); ++i) {
-            NodeId g = task.nodes[i];
-            if (assignment[g] == task.info.shard)
-                out.embeddings.set_row(g,
-                                       task.result.embeddings.row_vec(i));
-        }
-    }
-    Vec pooled =
-        model_.global_pool(out.embeddings, prepared.pool_nodes());
-    out.prediction = model_.head().forward(pooled)[0];
-
-    std::vector<RunStats> per_shard;
-    std::vector<std::uint64_t> comm;
-    per_shard.reserve(tasks.size());
-    comm.reserve(tasks.size());
-    for (ShardTask &task : tasks) {
-        task.info.stats = task.result.stats;
-        per_shard.push_back(std::move(task.result.stats));
-        comm.push_back(task.info.comm_cycles);
-        out.shards.push_back(std::move(task.info));
-    }
-    out.stats = compose_shard_stats(per_shard, comm);
-    out.cut_edges = shard_cut_edges(prepared.graph, assignment);
-    out.replication_factor =
-        static_cast<double>(closure_total) /
-        static_cast<double>(n_nodes);
-    return out;
+    return merge_shard_results(model_, prepared, std::move(plan),
+                               std::move(results), shard_config_.link);
 }
 
 } // namespace flowgnn

@@ -15,90 +15,24 @@
  * unit the message arrival order is src-major on both paths, so they
  * are bit-identical.
  *
- * Timing model: dies run concurrently; before compute, each die
- * fetches the halo slice it does not own (halo node features + the
- * non-owned part of its edge list) over an inter-die link of
- * LinkConfig bandwidth/latency. The composed RunStats takes the
- * slowest fetch+compute chain and counts the traffic as comm_cycles.
+ * Timing model: dies run concurrently; each die fetches the halo
+ * slice it does not own (halo node features + the non-owned part of
+ * its edge list) over an inter-die link of LinkConfig
+ * bandwidth/latency. By default the fetch serializes before compute;
+ * LinkConfig::overlap hides it behind the die's input DMA instead.
+ * The composed RunStats takes the slowest fetch+compute chain and
+ * counts the traffic as comm_cycles.
+ *
+ * The planning/merging machinery lives in shard/shard_plan.h so the
+ * die-pool scheduler (src/pool) can interleave slices of many graphs;
+ * ShardedEngine is the one-job-uses-all-dies convenience wrapper.
  */
 #ifndef FLOWGNN_SHARD_SHARDED_ENGINE_H
 #define FLOWGNN_SHARD_SHARDED_ENGINE_H
 
-#include <cstdint>
-#include <stdexcept>
-#include <vector>
-
-#include "core/engine.h"
-#include "graph/partition.h"
+#include "shard/shard_plan.h"
 
 namespace flowgnn {
-
-/** Inter-die link model (point-to-point, per die). */
-struct LinkConfig {
-    /** Words (4-byte) transferred per kernel cycle. Deliberately a
-     * fraction of the 64 words/cycle HBM ingest the engine models:
-     * die-to-die serial links are narrower than local memory. */
-    std::uint32_t words_per_cycle = 16;
-    /** Fixed per-transfer latency (link setup + flight time). */
-    std::uint64_t latency_cycles = 500;
-
-    void
-    validate() const
-    {
-        if (words_per_cycle == 0)
-            throw std::invalid_argument(
-                "LinkConfig: words_per_cycle must be >= 1");
-    }
-};
-
-/** Scale-out shape of a sharded engine. */
-struct ShardConfig {
-    /** Number of dies. 1 degenerates to single-engine execution. */
-    std::uint32_t num_shards = 2;
-    ShardStrategy strategy = ShardStrategy::kContiguous;
-    LinkConfig link{};
-
-    void
-    validate() const
-    {
-        if (num_shards == 0)
-            throw std::invalid_argument(
-                "ShardConfig: num_shards must be >= 1");
-        link.validate();
-    }
-};
-
-/** Per-die breakdown of one sharded run. */
-struct ShardInfo {
-    std::uint32_t shard = 0;
-    std::size_t owned_nodes = 0;
-    std::size_t halo_nodes = 0;      ///< replicated (ghost) nodes
-    std::size_t subgraph_edges = 0;  ///< edges in the die's subgraph
-    std::size_t fetched_edges = 0;   ///< subgraph edges not owned here
-    std::uint64_t comm_cycles = 0;   ///< halo fetch charged to this die
-    RunStats stats;                  ///< the die's own engine stats
-};
-
-/** Output of one sharded run: the merged single-graph answer plus the
- * per-die breakdown and the partition-quality metrics. */
-struct ShardedRunResult {
-    /** Final node embeddings [num_nodes x embedding_dim], merged from
-     * the owning die of every node. */
-    Matrix embeddings;
-    /** Graph-level prediction from the pooled head over the merge. */
-    float prediction = 0.0f;
-    /** Composed multi-die statistics (see compose_shard_stats). */
-    RunStats stats;
-    std::vector<ShardInfo> shards;
-    std::size_t cut_edges = 0;
-    double replication_factor = 1.0;
-
-    double
-    latency_ms() const
-    {
-        return stats.latency_ms();
-    }
-};
 
 /**
  * Multi-die FlowGNN instance: one model, P identical engine dies.
@@ -126,7 +60,8 @@ class ShardedEngine
     /**
      * The model's message-passing depth: how many stages consume
      * neighbor state, i.e. how many hops of halo a shard needs for
-     * exact owned-node recomputation.
+     * exact owned-node recomputation. (Alias of the free function in
+     * shard_plan.h.)
      */
     static std::uint32_t message_hops(const Model &model);
 

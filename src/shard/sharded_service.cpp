@@ -7,158 +7,52 @@ namespace flowgnn {
 ShardedService::ShardedService(const Model &model,
                                EngineConfig engine_config,
                                ShardedServiceConfig config)
-    : config_(config),
-      small_(model, engine_config, config.service),
-      sharded_(model, engine_config, config.shard),
-      // small_'s constructor already validated config.service, so a
-      // zero queue_capacity can't reach here.
-      sharded_queue_(config.service.queue_capacity)
+    // validate() before the scheduler spawns die threads: a malformed
+    // ShardConfig must fail at construction, not at first large submit.
+    : config_((config.validate(), config)),
+      scheduler_(model, engine_config, config.pool)
 {
-    // small_ and sharded_ already validated their slices; this guards
-    // the combination before the sharded worker spawns.
-    config_.validate();
-    started_ = !config_.service.start_paused;
-    sharded_worker_ = std::thread([this] { sharded_worker_loop(); });
 }
-
-ShardedService::~ShardedService() { shutdown(); }
 
 void
 ShardedService::start()
 {
-    small_.start();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (started_)
-            return;
-        started_ = true;
-    }
-    unpark_.notify_all();
-}
-
-void
-ShardedService::sharded_worker_loop()
-{
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        unpark_.wait(lock, [&] { return started_; });
-    }
-
-    // One worker suffices: a sharded run already fans out across all
-    // dies internally, so queued large graphs pipeline behind it
-    // rather than fight it for the same dies.
-    while (auto job = sharded_queue_.pop()) {
-        bool ok = true;
-        RunResult result;
-        std::exception_ptr error;
-        try {
-            ShardedRunResult r = sharded_.run(job->sample, job->opts);
-            result.embeddings = std::move(r.embeddings);
-            result.prediction = r.prediction;
-            result.stats = std::move(r.stats);
-        } catch (...) {
-            ok = false;
-            error = std::current_exception();
-        }
-
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            sharded_completed_ += ok;
-            sharded_failed_ += !ok;
-        }
-        idle_.notify_all();
-
-        if (ok)
-            job->promise.set_value(std::move(result));
-        else
-            job->promise.set_exception(error);
-    }
+    scheduler_.start();
 }
 
 std::future<RunResult>
 ShardedService::submit(GraphSample sample)
 {
-    return submit(std::move(sample), config_.service.run_options);
+    return submit(std::move(sample), config_.pool.run_options);
 }
 
 std::future<RunResult>
-ShardedService::submit(GraphSample sample, const RunOptions &opts)
+ShardedService::submit(GraphSample sample, const RunOptions &opts,
+                       int priority)
 {
     if (sample.num_nodes() < config_.shard_threshold_nodes)
-        return small_.submit(std::move(sample), opts);
-
-    opts.validate();
-    InferenceJob job;
-    job.sample = std::move(sample);
-    job.opts = opts;
-    job.enqueued = std::chrono::steady_clock::now();
-    std::future<RunResult> future = job.promise.get_future();
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_)
-            throw std::logic_error(
-                "ShardedService: submit after shutdown");
-        ++sharded_submitted_;
-    }
-    auto withdraw = [this](bool reject) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --sharded_submitted_;
-            sharded_rejected_ += reject;
-        }
-        idle_.notify_all();
-    };
-
-    if (config_.service.admission == AdmissionPolicy::kReject) {
-        if (!sharded_queue_.try_push(std::move(job))) {
-            withdraw(/*reject=*/true);
-            throw ServiceOverloaded();
-        }
-    } else if (!sharded_queue_.push(std::move(job))) {
-        withdraw(/*reject=*/false);
-        throw std::logic_error("ShardedService: submit after shutdown");
-    }
-    return future;
+        return scheduler_.submit(std::move(sample), opts, priority);
+    return scheduler_.submit_sharded_as_run(std::move(sample),
+                                            config_.shard, opts,
+                                            priority);
 }
 
 void
 ShardedService::drain()
 {
-    start();
-    small_.drain();
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [&] {
-        return sharded_completed_ + sharded_failed_ == sharded_submitted_;
-    });
+    scheduler_.drain();
 }
 
 void
 ShardedService::shutdown()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_)
-            return;
-        closed_ = true;
-    }
-    drain();
-    sharded_queue_.close();
-    sharded_worker_.join();
-    small_.shutdown();
+    scheduler_.shutdown();
 }
 
-ShardedServiceStats
+PoolStats
 ShardedService::stats() const
 {
-    ShardedServiceStats out;
-    out.small = small_.stats();
-    std::lock_guard<std::mutex> lock(mutex_);
-    out.sharded_submitted = sharded_submitted_;
-    out.sharded_completed = sharded_completed_;
-    out.sharded_failed = sharded_failed_;
-    out.sharded_rejected = sharded_rejected_;
-    return out;
+    return scheduler_.stats();
 }
 
 } // namespace flowgnn

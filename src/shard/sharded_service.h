@@ -1,22 +1,20 @@
 /**
  * @file
  * ShardedService: the serve-layer entry point that makes graph size an
- * operational detail. Small graphs keep the multi-replica
- * InferenceService fast path (many graphs in flight, one die each);
- * graphs at or above the shard threshold route to a ShardedEngine
- * that spreads one graph across all dies. Either way callers submit a
- * GraphSample and receive a std::future<RunResult> with the same
+ * operational detail. Every submission routes into one flowgnn::pool
+ * die pool: small graphs become one-die jobs (many in flight at once),
+ * graphs at or above the shard threshold become multi-slice sharded
+ * jobs — and the PoolScheduler interleaves both kinds over the same D
+ * dies, so small traffic backfills whatever a sharded job leaves idle
+ * (no dedicated worker, no partitioned replica set). Callers submit a
+ * GraphSample and receive a std::future<RunResult> with the pool's
  * admission-control semantics (kBlock backpressure / kReject +
  * ServiceOverloaded) on both paths.
  */
 #ifndef FLOWGNN_SHARD_SHARDED_SERVICE_H
 #define FLOWGNN_SHARD_SHARDED_SERVICE_H
 
-#include <future>
-#include <thread>
-
-#include "serve/service.h"
-#include "shard/sharded_engine.h"
+#include "pool/scheduler.h"
 
 namespace flowgnn {
 
@@ -24,87 +22,68 @@ namespace flowgnn {
 struct ShardedServiceConfig {
     /**
      * Graphs with at least this many nodes run sharded; smaller ones
-     * take the single-die fast path. The default is sized to the
-     * paper's workloads: every Table IV sample is far below it, while
-     * the scale-out graphs this subsystem exists for are far above.
+     * run whole on one die. The default is sized to the paper's
+     * workloads: every Table IV sample is far below it, while the
+     * scale-out graphs this subsystem exists for are far above.
      */
     std::size_t shard_threshold_nodes = 4096;
+    /** How large graphs are split (num_shards is clamped to the
+     * pool's die count at submission). */
     ShardConfig shard{};
-    /** Small-graph path shape; its admission policy and start_paused
-     * flag also govern the sharded queue. */
-    ServiceConfig service{};
+    /** The die pool both paths draw from: die count, scheduling
+     * policy, admission control, queue bound. */
+    PoolConfig pool{};
 
     void
     validate() const
     {
         shard.validate();
-        service.validate();
+        pool.validate();
     }
 };
 
-/** Telemetry for both paths. */
-struct ShardedServiceStats {
-    /** The small-graph fast path (replica utilization etc.). */
-    ServiceStats small;
-    std::size_t sharded_submitted = 0;
-    std::size_t sharded_completed = 0;
-    std::size_t sharded_failed = 0;
-    std::size_t sharded_rejected = 0;
-};
-
 /**
- * Two-path inference service over one model. The model must outlive
- * the service; destruction drains accepted work on both paths.
+ * Size-routing inference service over one model and one die pool. The
+ * model must outlive the service; destruction drains accepted work.
  */
 class ShardedService
 {
   public:
     ShardedService(const Model &model, EngineConfig engine_config = {},
                    ShardedServiceConfig config = {});
-    ~ShardedService();
 
     ShardedService(const ShardedService &) = delete;
     ShardedService &operator=(const ShardedService &) = delete;
 
-    /** Unparks both paths (no-op when already running). */
+    /** Unparks the pool (no-op when already running). */
     void start();
 
     std::future<RunResult> submit(GraphSample sample);
     std::future<RunResult> submit(GraphSample sample,
-                                  const RunOptions &opts);
+                                  const RunOptions &opts,
+                                  int priority = 0);
 
-    /** Blocks until every accepted request on both paths completed. */
+    /** Blocks until every accepted request completed. */
     void drain();
 
-    /** Drains, closes both queues, joins all workers (idempotent). */
+    /** Drains, closes admission, joins the dies (idempotent). */
     void shutdown();
 
-    ShardedServiceStats stats() const;
+    /** Pool telemetry: per-path counters (`fast` = small graphs,
+     * `sharded` = large), die utilization, queueing delay, occupancy. */
+    PoolStats stats() const;
 
     std::size_t shard_threshold() const
     {
         return config_.shard_threshold_nodes;
     }
     const ShardConfig &shard_config() const { return config_.shard; }
+    std::size_t num_dies() const { return scheduler_.num_dies(); }
+    const PoolScheduler &scheduler() const { return scheduler_; }
 
   private:
-    void sharded_worker_loop();
-
     ShardedServiceConfig config_;
-    InferenceService small_;
-    ShardedEngine sharded_;
-    BoundedQueue<InferenceJob> sharded_queue_;
-    std::thread sharded_worker_;
-
-    mutable std::mutex mutex_; // guards everything below
-    std::condition_variable idle_;
-    std::condition_variable unpark_;
-    bool started_ = false;
-    bool closed_ = false;
-    std::size_t sharded_submitted_ = 0;
-    std::size_t sharded_completed_ = 0;
-    std::size_t sharded_failed_ = 0;
-    std::size_t sharded_rejected_ = 0;
+    PoolScheduler scheduler_;
 };
 
 } // namespace flowgnn

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "graph/generators.h"
+#include "shard/sharded_engine.h"
 #include "shard/sharded_service.h"
 #include "tensor/ops.h"
 #include "testing_util.h"
@@ -61,6 +62,46 @@ TEST(ShardAssignment, ContiguousIsEqualIdRanges)
         shard_assignment(g, 3, ShardStrategy::kContiguous);
     std::vector<std::uint32_t> expected = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2};
     EXPECT_EQ(assignment, expected);
+}
+
+TEST(ShardAssignment, BfsContiguousRecoversLocalityOnShuffledRing)
+{
+    // A ring lattice whose ids were randomly permuted: contiguous id
+    // ranges are meaningless, but the structure is still a ring. BFS
+    // renumbering walks the ring, so the contiguous split over BFS
+    // ranks must cut a tiny fraction of edges where modulo cuts
+    // everything.
+    CooGraph ring = make_ring_lattice(512, 2);
+    std::vector<NodeId> perm(ring.num_nodes);
+    for (NodeId v = 0; v < ring.num_nodes; ++v)
+        perm[v] = v;
+    Rng rng(0x5EED);
+    for (NodeId v = ring.num_nodes; v > 1; --v)
+        std::swap(perm[v - 1],
+                  perm[static_cast<NodeId>(rng.uniform_index(v))]);
+    CooGraph shuffled;
+    shuffled.num_nodes = ring.num_nodes;
+    for (const Edge &e : ring.edges)
+        shuffled.edges.push_back({perm[e.src], perm[e.dst]});
+
+    auto bfs = shard_assignment(shuffled, 4,
+                                ShardStrategy::kBfsContiguous);
+    auto modulo = shard_assignment(shuffled, 4, ShardStrategy::kModulo);
+    auto contiguous =
+        shard_assignment(shuffled, 4, ShardStrategy::kContiguous);
+
+    double bfs_cut = shard_cut_fraction(shuffled, bfs);
+    EXPECT_LT(bfs_cut, shard_cut_fraction(shuffled, modulo));
+    EXPECT_LT(bfs_cut, shard_cut_fraction(shuffled, contiguous))
+        << "on shuffled ids plain contiguous is as lost as modulo";
+    EXPECT_LT(bfs_cut, 0.1);
+
+    // Every shard still owns a fair share of nodes.
+    std::vector<std::size_t> owned(4, 0);
+    for (auto s : bfs)
+        ++owned[s];
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_GE(owned[s], shuffled.num_nodes / 8);
 }
 
 TEST(ShardCutMetrics, ModuloCutsEveryLocalEdgeContiguousAlmostNone)
@@ -274,6 +315,67 @@ TEST(ShardedEngine, CommCyclesAndStatsComposition)
     EXPECT_GT(r.latency_ms(), 0.0);
 }
 
+TEST(ShardStats, OverlapModePinsBothCompositionFormulas)
+{
+    // Two dies with hand-built stats pin the serial and the
+    // overlapped chain formulas exactly.
+    RunStats a;
+    a.total_cycles = 1000;
+    a.load_cycles = 300;
+    RunStats b;
+    b.total_cycles = 800;
+    b.load_cycles = 100;
+    std::vector<RunStats> dies = {a, b};
+    std::vector<std::uint64_t> comm = {500, 50};
+
+    // Serial: comm fully precedes compute on each die.
+    RunStats serial = compose_shard_stats(dies, comm, false);
+    ASSERT_EQ(serial.die_cycles.size(), 2u);
+    EXPECT_EQ(serial.die_cycles[0], 1500u); // 1000 + 500
+    EXPECT_EQ(serial.die_cycles[1], 850u);  // 800 + 50
+    EXPECT_EQ(serial.total_cycles, 1500u);
+
+    // Overlap: the fetch hides behind the die's input DMA; only the
+    // excess over load_cycles delays the compute remainder.
+    RunStats overlap = compose_shard_stats(dies, comm, true);
+    EXPECT_EQ(overlap.die_cycles[0], 1200u); // max(500,300) + 700
+    EXPECT_EQ(overlap.die_cycles[1], 800u);  // max(50,100) + 700
+    EXPECT_EQ(overlap.total_cycles, 1200u);
+
+    // Die-level utilization of the makespan falls out of die_cycles.
+    auto util = serial.die_utilizations();
+    ASSERT_EQ(util.size(), 2u);
+    EXPECT_DOUBLE_EQ(util[0], 1.0);
+    EXPECT_DOUBLE_EQ(util[1], 850.0 / 1500.0);
+}
+
+TEST(ShardedEngine, OverlapNeverSlowerThanSerialAndSameAnswer)
+{
+    GraphSample sample = make_random_sample(
+        make_ring_lattice(4000, 2), 16, 0, 0xC0DE);
+    Model model = make_model(ModelKind::kGcn16, 16, 0);
+
+    ShardConfig serial;
+    serial.num_shards = 4;
+    ShardConfig overlapped = serial;
+    overlapped.link.overlap = true;
+
+    ShardedRunResult rs = ShardedEngine(model, {}, serial).run(sample);
+    ShardedRunResult ro =
+        ShardedEngine(model, {}, overlapped).run(sample);
+
+    EXPECT_TRUE(ro.embeddings == rs.embeddings)
+        << "overlap changes timing composition only, never answers";
+    EXPECT_LT(ro.stats.total_cycles, rs.stats.total_cycles)
+        << "a cut ring has real comm to hide behind the load prefix";
+    // Overlap can hide at most the whole fetch.
+    std::uint64_t compute_only = 0;
+    for (const ShardInfo &info : ro.shards)
+        compute_only =
+            std::max(compute_only, info.stats.total_cycles);
+    EXPECT_GE(ro.stats.total_cycles, compute_only);
+}
+
 TEST(ShardedEngine, ShardingALocalGraphReducesModeledCycles)
 {
     GraphSample sample = make_random_sample(
@@ -310,15 +412,16 @@ TEST(ShardedService, RoutesByThresholdAndMatchesDirectRuns)
     svc.shard_threshold_nodes = 1000;
     svc.shard.num_shards = 4;
     svc.shard.strategy = ShardStrategy::kContiguous;
+    svc.pool.num_dies = 4;
     ShardedService service(model, cfg, svc);
 
     RunResult small_result = service.submit(small).get();
     RunResult large_result = service.submit(large).get();
 
-    ShardedServiceStats st = service.stats();
-    EXPECT_EQ(st.small.completed, 1u);
-    EXPECT_EQ(st.sharded_completed, 1u);
-    EXPECT_EQ(st.sharded_failed, 0u);
+    PoolStats st = service.stats();
+    EXPECT_EQ(st.fast.completed, 1u);
+    EXPECT_EQ(st.sharded.completed, 1u);
+    EXPECT_EQ(st.sharded.failed, 0u);
 
     RunResult small_direct = Engine(model, cfg).run(small);
     EXPECT_TRUE(small_result.embeddings == small_direct.embeddings);
@@ -341,20 +444,20 @@ TEST(ShardedService, RejectPolicyShedsShardedPathWhenFull)
     ShardedServiceConfig svc;
     svc.shard_threshold_nodes = 1000;
     svc.shard.num_shards = 2;
-    svc.service.queue_capacity = 1;
-    svc.service.admission = AdmissionPolicy::kReject;
-    svc.service.start_paused = true;
+    svc.pool.queue_capacity = 1;
+    svc.pool.admission = AdmissionPolicy::kReject;
+    svc.pool.start_paused = true;
     ShardedService service(model, {}, svc);
 
     auto f1 = service.submit(large);
     EXPECT_THROW(service.submit(large), ServiceOverloaded);
-    EXPECT_EQ(service.stats().sharded_rejected, 1u);
+    EXPECT_EQ(service.stats().sharded.rejected, 1u);
 
     service.drain();
     EXPECT_NO_THROW(f1.get());
-    ShardedServiceStats st = service.stats();
-    EXPECT_EQ(st.sharded_completed, 1u);
-    EXPECT_EQ(st.sharded_submitted, 1u);
+    PoolStats st = service.stats();
+    EXPECT_EQ(st.sharded.completed, 1u);
+    EXPECT_EQ(st.sharded.submitted, 1u);
 }
 
 // ---- The acceptance-scale check ---------------------------------------
