@@ -62,6 +62,22 @@ run_stream(const Model &model, const EngineConfig &config,
     return out;
 }
 
+/** Wraps any graph with deterministic Gaussian node features — the
+ * one feature distribution every scale-out bench shares. */
+inline GraphSample
+with_features(CooGraph graph, std::size_t node_dim, std::uint64_t seed)
+{
+    GraphSample s;
+    s.graph = std::move(graph);
+    Rng rng(seed);
+    s.node_features = Matrix(s.graph.num_nodes, node_dim);
+    for (std::size_t r = 0; r < s.node_features.rows(); ++r)
+        for (std::size_t c = 0; c < node_dim; ++c)
+            s.node_features(r, c) =
+                static_cast<float>(rng.normal(0.0, 0.5));
+    return s;
+}
+
 /**
  * The canonical large-graph sharding workload: a k=2 ring lattice
  * (node ids carry perfect locality) with deterministic Gaussian node
@@ -72,15 +88,7 @@ inline GraphSample
 make_lattice_workload(NodeId nodes, std::size_t node_dim,
                       std::uint64_t seed)
 {
-    GraphSample s;
-    s.graph = make_ring_lattice(nodes, 2);
-    Rng rng(seed);
-    s.node_features = Matrix(nodes, node_dim);
-    for (std::size_t r = 0; r < nodes; ++r)
-        for (std::size_t c = 0; c < node_dim; ++c)
-            s.node_features(r, c) =
-                static_cast<float>(rng.normal(0.0, 0.5));
-    return s;
+    return with_features(make_ring_lattice(nodes, 2), node_dim, seed);
 }
 
 /** Prints a horizontal rule sized to the table width. */

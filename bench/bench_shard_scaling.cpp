@@ -7,11 +7,21 @@
  * Sec. VI-E (graphs far larger than one die's buffers).
  *
  *   ./bench_shard_scaling [--nodes N] [--model gcn16|gcn|gin]
- *                         [--json PATH]
+ *                         [--json PATH] [--sweep-nodes N]
+ *                         [--sweep-json PATH] [--no-sweep]
  *
  * --json writes a machine-readable record of every point (consumed by
  * CI as a workflow artifact, so the bench trajectory is tracked).
+ *
+ * The second section is the strategy x graph-family sweep behind the
+ * streaming partitioners: every ShardStrategy on a shuffled ring
+ * (locality exists, ids are meaningless), a Barabási–Albert power-law
+ * graph, and an R-MAT multigraph, at P in {4, 8}, reporting cut
+ * fraction, load imbalance, replication, and modeled multi-die
+ * latency. --sweep-json writes it as a separate machine-readable
+ * artifact (also uploaded by CI).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,21 +53,64 @@ struct Point {
     double replication;
 };
 
+struct SweepPoint {
+    const char *strategy;
+    std::uint32_t shards;
+    double cut_fraction;
+    double load_imbalance; ///< max owned / ideal share
+    double replication;
+    std::uint64_t cycles;
+    std::uint64_t comm_cycles;
+    double speedup; ///< vs the same graph on one die
+};
+
+struct SweepFamily {
+    const char *family;
+    GraphSample sample;
+    std::uint64_t base_cycles = 0;
+    std::vector<SweepPoint> points;
+};
+
+using bench::with_features;
+
+/** Most-loaded die's owned nodes over the ideal share, read from the
+ * run's per-die breakdown (dropped empty slices own zero nodes and
+ * cannot be the max). */
+double
+owned_imbalance(const ShardedRunResult &r, NodeId num_nodes,
+                std::uint32_t shards)
+{
+    std::size_t max_owned = 0;
+    for (const ShardInfo &info : r.shards)
+        max_owned = std::max(max_owned, info.owned_nodes);
+    return static_cast<double>(max_owned) /
+           (static_cast<double>(num_nodes) / shards);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     NodeId nodes = 120000;
+    NodeId sweep_nodes = 50000;
+    bool run_sweep = true;
     std::string model_name_arg = "gcn16";
     std::string json_path;
+    std::string sweep_json_path;
     for (int a = 1; a < argc; ++a) {
         if (!std::strcmp(argv[a], "--nodes") && a + 1 < argc)
             nodes = static_cast<NodeId>(std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--sweep-nodes") && a + 1 < argc)
+            sweep_nodes = static_cast<NodeId>(std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--no-sweep"))
+            run_sweep = false;
         else if (!std::strcmp(argv[a], "--model") && a + 1 < argc)
             model_name_arg = argv[++a];
         else if (!std::strcmp(argv[a], "--json") && a + 1 < argc)
             json_path = argv[++a];
+        else if (!std::strcmp(argv[a], "--sweep-json") && a + 1 < argc)
+            sweep_json_path = argv[++a];
     }
     ModelKind kind = ModelKind::kGcn16;
     if (model_name_arg == "gcn")
@@ -140,6 +193,136 @@ main(int argc, char **argv)
         }
         os << "  ]\n}\n";
         std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    if (!run_sweep)
+        return 0;
+
+    // ---- Strategy x graph-family sweep ---------------------------------
+    bench::banner(
+        "shard-strategy x graph-family sweep",
+        "Every ShardStrategy on three structural families at P = 4 "
+        "and 8. On power-law graphs (Barabási–Albert, R-MAT) BFS "
+        "ranks order poorly, so the streaming partitioners "
+        "(LDG/Fennel/HDRF) must win the cut; on the shuffled ring "
+        "BFS renumbering stays the right choice.");
+
+    Rng family_rng(0xB16B00);
+    std::vector<SweepFamily> families;
+    {
+        SweepFamily ring;
+        ring.family = "ring-shuffled";
+        ring.sample = with_features(
+            permute_node_ids(make_ring_lattice(sweep_nodes, 2),
+                             family_rng),
+            kNodeDim, 0x5EE1);
+        families.push_back(std::move(ring));
+
+        SweepFamily ba;
+        ba.family = "barabasi-albert";
+        ba.sample = with_features(
+            make_barabasi_albert(sweep_nodes, 4, family_rng), kNodeDim,
+            0x5EE2);
+        families.push_back(std::move(ba));
+
+        NodeId rmat_nodes = 1;
+        while (rmat_nodes < sweep_nodes)
+            rmat_nodes <<= 1;
+        SweepFamily rmat;
+        rmat.family = "rmat";
+        rmat.sample = with_features(
+            make_rmat(rmat_nodes, std::size_t(rmat_nodes) * 8,
+                      family_rng),
+            kNodeDim, 0x5EE3);
+        families.push_back(std::move(rmat));
+    }
+
+    const ShardStrategy sweep_strategies[] = {
+        ShardStrategy::kModulo,        ShardStrategy::kContiguous,
+        ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+        ShardStrategy::kLdg,           ShardStrategy::kFennel,
+        ShardStrategy::kHdrf,
+    };
+    const std::uint32_t sweep_shards[] = {4, 8};
+
+    for (SweepFamily &family : families) {
+        ShardConfig one;
+        one.num_shards = 1;
+        family.base_cycles = ShardedEngine(model, {}, one)
+                                 .run(family.sample)
+                                 .stats.total_cycles;
+
+        std::printf("\n%s: %u nodes / %zu edges (1 die: %llu cycles)\n",
+                    family.family, family.sample.graph.num_nodes,
+                    family.sample.num_edges(),
+                    static_cast<unsigned long long>(family.base_cycles));
+        std::printf("%-16s %7s %8s %8s %8s %14s %12s %9s\n", "strategy",
+                    "shards", "cut", "maxload", "repl", "cycles",
+                    "comm", "speedup");
+        bench::rule(90);
+        for (std::uint32_t shards : sweep_shards) {
+            for (ShardStrategy strategy : sweep_strategies) {
+                ShardConfig cfg;
+                cfg.num_shards = shards;
+                cfg.strategy = strategy;
+                ShardedRunResult r =
+                    ShardedEngine(model, {}, cfg).run(family.sample);
+                SweepPoint p;
+                p.strategy = shard_strategy_name(strategy);
+                p.shards = shards;
+                p.cut_fraction =
+                    static_cast<double>(r.cut_edges) /
+                    static_cast<double>(family.sample.num_edges());
+                p.load_imbalance = owned_imbalance(
+                    r, family.sample.graph.num_nodes, shards);
+                p.replication = r.replication_factor;
+                p.cycles = r.stats.total_cycles;
+                p.comm_cycles = r.stats.comm_cycles;
+                p.speedup =
+                    static_cast<double>(family.base_cycles) /
+                    static_cast<double>(r.stats.total_cycles);
+                family.points.push_back(p);
+                std::printf(
+                    "%-16s %7u %8.4f %8.3f %8.3f %14llu %12llu %8.2fx\n",
+                    p.strategy, p.shards, p.cut_fraction,
+                    p.load_imbalance, p.replication,
+                    static_cast<unsigned long long>(p.cycles),
+                    static_cast<unsigned long long>(p.comm_cycles),
+                    p.speedup);
+            }
+            bench::rule(90);
+        }
+    }
+
+    if (!sweep_json_path.empty()) {
+        std::ofstream os(sweep_json_path);
+        os << "{\n  \"bench\": \"shard_strategy_sweep\",\n"
+           << "  \"model\": \"" << model_name(kind) << "\",\n"
+           << "  \"families\": [\n";
+        for (std::size_t f = 0; f < families.size(); ++f) {
+            const SweepFamily &family = families[f];
+            os << "    {\"family\": \"" << family.family
+               << "\", \"nodes\": " << family.sample.graph.num_nodes
+               << ", \"edges\": " << family.sample.num_edges()
+               << ", \"base_cycles\": " << family.base_cycles
+               << ",\n     \"points\": [\n";
+            for (std::size_t i = 0; i < family.points.size(); ++i) {
+                const SweepPoint &p = family.points[i];
+                os << "      {\"strategy\": \"" << p.strategy
+                   << "\", \"shards\": " << p.shards
+                   << ", \"cut_fraction\": " << p.cut_fraction
+                   << ", \"load_imbalance\": " << p.load_imbalance
+                   << ", \"replication\": " << p.replication
+                   << ", \"cycles\": " << p.cycles
+                   << ", \"comm_cycles\": " << p.comm_cycles
+                   << ", \"speedup\": " << p.speedup << "}"
+                   << (i + 1 < family.points.size() ? "," : "") << "\n";
+            }
+            os << "     ]}" << (f + 1 < families.size() ? "," : "")
+               << "\n";
+        }
+        os << "  ]\n}\n";
+        std::printf("\nwrote %s\n", sweep_json_path.c_str());
     }
     return 0;
 }

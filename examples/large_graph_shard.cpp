@@ -105,5 +105,34 @@ main()
                 max_abs_diff(r.embeddings, reference.embeddings),
                 static_cast<double>(reference.stats.total_cycles) /
                     static_cast<double>(r.stats.total_cycles));
+
+    // ---- Picking a strategy for a power-law graph ----
+    // The lattice above has locality-carrying ids, so kContiguous is
+    // free and right. A citation/social graph is the opposite regime:
+    // BFS ranks order poorly (a few hops reach everything) and the
+    // streaming partitioners earn their keep. The cut metrics are
+    // cheap — measure before committing to a strategy; no call site
+    // other than the ShardConfig changes.
+    Rng prng(0x50C1A1);
+    CooGraph powerlaw = make_barabasi_albert(30000, 4, prng);
+    std::printf("\npower-law graph (%u nodes): cut fraction at P=4\n",
+                powerlaw.num_nodes);
+    ShardStrategy pick = ShardStrategy::kContiguous;
+    double best_cut = 1.0;
+    for (ShardStrategy s :
+         {ShardStrategy::kContiguous, ShardStrategy::kBfsContiguous,
+          ShardStrategy::kLdg, ShardStrategy::kFennel,
+          ShardStrategy::kHdrf}) {
+        double cut = shard_cut_fraction(
+            powerlaw, shard_assignment(powerlaw, 4, s));
+        std::printf("  %-16s %.3f\n", shard_strategy_name(s), cut);
+        if (cut < best_cut) {
+            best_cut = cut;
+            pick = s;
+        }
+    }
+    std::printf("picked %s; every shard consumer (ShardedEngine, "
+                "ShardedService, pool jobs) takes it via ShardConfig\n",
+                shard_strategy_name(pick));
     return 0;
 }

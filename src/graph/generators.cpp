@@ -155,6 +155,64 @@ make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng)
 }
 
 CooGraph
+make_rmat(NodeId num_nodes, std::size_t num_edges, Rng &rng, double a,
+          double b, double c)
+{
+    if (num_nodes == 0 || (num_nodes & (num_nodes - 1)) != 0)
+        throw std::invalid_argument(
+            "make_rmat: num_nodes must be a power of two");
+    if (a < 0.0 || b < 0.0 || c < 0.0 || a + b + c > 1.0)
+        throw std::invalid_argument(
+            "make_rmat: quadrant probabilities must be non-negative "
+            "and sum to at most 1");
+
+    std::uint32_t scale = 0;
+    while ((NodeId(1) << scale) < num_nodes)
+        ++scale;
+
+    CooGraph g;
+    g.num_nodes = num_nodes;
+    g.edges.reserve(num_edges);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+        NodeId src = 0;
+        NodeId dst = 0;
+        for (std::uint32_t level = 0; level < scale; ++level) {
+            const double r = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (r < a) {
+                // top-left: neither bit set
+            } else if (r < a + b) {
+                dst |= 1;
+            } else if (r < a + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        g.edges.push_back({src, dst});
+    }
+    return g;
+}
+
+CooGraph
+permute_node_ids(const CooGraph &graph, Rng &rng)
+{
+    std::vector<NodeId> perm(graph.num_nodes);
+    for (NodeId v = 0; v < graph.num_nodes; ++v)
+        perm[v] = v;
+    rng.shuffle(perm);
+
+    CooGraph out;
+    out.num_nodes = graph.num_nodes;
+    out.edges.reserve(graph.edges.size());
+    for (const Edge &e : graph.edges)
+        out.edges.push_back({perm[e.src], perm[e.dst]});
+    return out;
+}
+
+CooGraph
 make_ring_lattice(NodeId num_nodes, std::uint32_t k)
 {
     if (k == 0)

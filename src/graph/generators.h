@@ -43,6 +43,31 @@ CooGraph make_knn_point_cloud(NodeId num_nodes, std::uint32_t k, Rng &rng);
 CooGraph make_barabasi_albert(NodeId num_nodes, std::uint32_t m, Rng &rng);
 
 /**
+ * R-MAT (Chakrabarti et al.) recursive-matrix generator, the
+ * Graph500 construction: each directed edge picks a quadrant of the
+ * adjacency matrix with probabilities (a, b, c, 1-a-b-c) at every one
+ * of log2(n) levels. Defaults (0.57, 0.19, 0.19) are the Graph500
+ * parameters, yielding a heavier-tailed degree distribution than
+ * Barabási–Albert. num_nodes must be a power of two.
+ *
+ * Faithful to the construction, the result is a *multigraph*: parallel
+ * edges and self-loops are kept, deliberately exercising the
+ * dedup-handling of downstream partitioners (see
+ * build_undirected_csr). Deterministic given the Rng state.
+ */
+CooGraph make_rmat(NodeId num_nodes, std::size_t num_edges, Rng &rng,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/**
+ * Relabels nodes by a uniform random permutation (edge order and edge
+ * feature positions preserved). Strips any locality the generator's
+ * ids carried — the "meaningless ids" regime where kContiguous
+ * degrades to a random split and locality-recovering strategies must
+ * earn their keep.
+ */
+CooGraph permute_node_ids(const CooGraph &graph, Rng &rng);
+
+/**
  * Ring lattice: node i is connected bidirectionally to its k nearest
  * ring neighbors on each side ((i +/- 1 .. k) mod n). Deterministic,
  * bounded degree (2k per direction), and — unlike the random

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/streaming_partition.h"
+
 namespace flowgnn {
+
+namespace {
+
+/**
+ * Owner of contiguous rank r in a balanced split of n ranks over P
+ * shards: floor(r * P / n). Shard sizes differ by at most one, so no
+ * shard is ever empty while another holds two or more — the ceil-chunk
+ * split this replaces left trailing shards empty whenever
+ * ceil(n/P) * (P-1) >= n (e.g. 9 nodes over 8 shards gave shards 0-3
+ * two nodes each and shards 5-7 none). For n < P the map is strictly
+ * increasing: exactly n shards own one node each.
+ */
+std::uint32_t
+balanced_rank_owner(std::uint64_t rank, std::uint64_t n, std::uint32_t p)
+{
+    return static_cast<std::uint32_t>(rank * p / n);
+}
+
+} // namespace
 
 std::vector<std::size_t>
 bank_edge_counts(const CooGraph &graph, std::uint32_t p_edge)
@@ -72,6 +93,9 @@ shard_strategy_name(ShardStrategy strategy)
       case ShardStrategy::kContiguous: return "contiguous";
       case ShardStrategy::kGreedyBalanced: return "greedy-balanced";
       case ShardStrategy::kBfsContiguous: return "bfs-contiguous";
+      case ShardStrategy::kLdg: return "ldg";
+      case ShardStrategy::kFennel: return "fennel";
+      case ShardStrategy::kHdrf: return "hdrf";
     }
     return "unknown";
 }
@@ -91,39 +115,24 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
         return assignment;
       }
       case ShardStrategy::kContiguous: {
-        // Equal id ranges; the last shard absorbs the remainder.
+        // Balanced id ranges: sizes differ by at most one node.
         std::vector<std::uint32_t> assignment(graph.num_nodes);
-        std::size_t chunk =
-            (graph.num_nodes + num_shards - 1) / num_shards;
-        if (chunk == 0)
-            chunk = 1;
         for (NodeId n = 0; n < graph.num_nodes; ++n)
-            assignment[n] = static_cast<std::uint32_t>(
-                std::min<std::size_t>(n / chunk, num_shards - 1));
+            assignment[n] =
+                balanced_rank_owner(n, graph.num_nodes, num_shards);
         return assignment;
       }
       case ShardStrategy::kGreedyBalanced:
         return balanced_bank_assignment(graph, num_shards);
       case ShardStrategy::kBfsContiguous: {
-        // Undirected BFS renumbering (CSR over the symmetrized edge
-        // set, no per-node vectors), then a contiguous split of the
-        // BFS ranks. Disconnected components restart the BFS from the
-        // lowest unvisited id, so every node gets a rank.
+        // Undirected BFS renumbering over the symmetrized *simple*
+        // adjacency (self-loops and parallel edges deduplicated, so
+        // multigraphs order exactly like their simple graph), then a
+        // balanced split of the BFS ranks. Disconnected components
+        // restart the BFS from the lowest unvisited id, so every node
+        // gets a rank.
         const NodeId n = graph.num_nodes;
-        std::vector<std::size_t> offsets(n + 1, 0);
-        for (const auto &e : graph.edges) {
-            ++offsets[e.src + 1];
-            ++offsets[e.dst + 1];
-        }
-        for (NodeId v = 0; v < n; ++v)
-            offsets[v + 1] += offsets[v];
-        std::vector<NodeId> nbr(offsets[n]);
-        std::vector<std::size_t> fill(offsets.begin(),
-                                      offsets.end() - 1);
-        for (const auto &e : graph.edges) {
-            nbr[fill[e.src]++] = e.dst;
-            nbr[fill[e.dst]++] = e.src;
-        }
+        const UndirectedCsr adj = build_undirected_csr(graph);
 
         std::vector<NodeId> rank(n, 0);
         std::vector<bool> visited(n, false);
@@ -138,26 +147,28 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
             for (std::size_t head = 0; head < queue.size(); ++head) {
                 NodeId v = queue[head];
                 rank[v] = next_rank++;
-                for (std::size_t i = offsets[v]; i < offsets[v + 1];
-                     ++i) {
-                    if (!visited[nbr[i]]) {
-                        visited[nbr[i]] = true;
-                        queue.push_back(nbr[i]);
+                for (std::size_t i = adj.row_begin(v);
+                     i < adj.row_end(v); ++i) {
+                    if (!visited[adj.nbr[i]]) {
+                        visited[adj.nbr[i]] = true;
+                        queue.push_back(adj.nbr[i]);
                     }
                 }
             }
             queue.clear();
         }
 
-        std::size_t chunk = (n + num_shards - 1) / num_shards;
-        if (chunk == 0)
-            chunk = 1;
         std::vector<std::uint32_t> assignment(n);
         for (NodeId v = 0; v < n; ++v)
-            assignment[v] = static_cast<std::uint32_t>(
-                std::min<std::size_t>(rank[v] / chunk, num_shards - 1));
+            assignment[v] = balanced_rank_owner(rank[v], n, num_shards);
         return assignment;
       }
+      case ShardStrategy::kLdg:
+        return ldg_partition(graph, num_shards);
+      case ShardStrategy::kFennel:
+        return fennel_partition(graph, num_shards);
+      case ShardStrategy::kHdrf:
+        return hdrf_partition(graph, num_shards);
     }
     throw std::invalid_argument("shard_assignment: unknown strategy");
 }

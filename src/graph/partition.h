@@ -85,13 +85,33 @@ bank_edge_counts(const CooGraph &graph,
  * from the lowest unvisited id per component) and splits the BFS
  * ranks contiguously — a locality-recovering strategy for graphs
  * whose node ids are meaningless: neighbors get nearby ranks, so the
- * contiguous split cuts only frontier edges.
+ * contiguous split cuts only frontier edges. The BFS walks the
+ * symmetrized *simple* adjacency (self-loops and parallel edges
+ * deduplicated, see build_undirected_csr), so a multigraph partitions
+ * exactly like its underlying simple graph.
+ *
+ * kLdg, kFennel, and kHdrf are the single-pass streaming vertex
+ * partitioners (graph/streaming_partition.h) for power-law graphs,
+ * where BFS ranks order poorly (a few hops reach everything): each
+ * vertex is placed greedily by where its already-placed neighbors
+ * went, under a hard per-shard capacity. kLdg uses a multiplicative
+ * fill penalty, kFennel an additive alpha*|S|^gamma marginal cost
+ * (usually the best cut on power-law graphs), kHdrf a degree-aware
+ * pull that keeps low-degree tails together and cedes hub edges.
+ *
+ * Splitting strategies (kContiguous, kBfsContiguous) use balanced
+ * ranges: shard sizes differ by at most one node, and when
+ * num_shards > num_nodes exactly num_nodes shards own one node each
+ * (the rest own nothing and are dropped by make_shard_plan).
  */
 enum class ShardStrategy {
     kModulo,
     kContiguous,
     kGreedyBalanced,
     kBfsContiguous,
+    kLdg,
+    kFennel,
+    kHdrf,
 };
 
 /** Human-readable strategy name. */

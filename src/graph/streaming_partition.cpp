@@ -1,0 +1,211 @@
+#include "graph/streaming_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flowgnn {
+
+UndirectedCsr
+build_undirected_csr(const CooGraph &graph)
+{
+    const NodeId n = graph.num_nodes;
+    UndirectedCsr out;
+    out.offsets.assign(std::size_t(n) + 1, 0);
+
+    // Pass 1: symmetrized counts, duplicates included (self-loops are
+    // dropped here: a node is never its own neighbor).
+    for (const Edge &e : graph.edges) {
+        if (e.src >= n || e.dst >= n)
+            throw std::invalid_argument(
+                "build_undirected_csr: edge endpoint out of range");
+        if (e.src == e.dst)
+            continue;
+        ++out.offsets[e.src + 1];
+        ++out.offsets[e.dst + 1];
+    }
+    for (NodeId v = 0; v < n; ++v)
+        out.offsets[v + 1] += out.offsets[v];
+
+    out.nbr.resize(out.offsets[n]);
+    std::vector<std::size_t> fill(out.offsets.begin(),
+                                  out.offsets.end() - 1);
+    for (const Edge &e : graph.edges) {
+        if (e.src == e.dst)
+            continue;
+        out.nbr[fill[e.src]++] = e.dst;
+        out.nbr[fill[e.dst]++] = e.src;
+    }
+
+    // Pass 2: compact each row in place, keeping only the first
+    // occurrence of every neighbor (order-preserving dedupe — a
+    // multigraph and its simple graph yield the same rows). seen[u]
+    // holds the last row that admitted u; rows are visited in
+    // ascending order, so `seen[u] == v` means "already in row v".
+    std::vector<NodeId> seen(n, n);
+    std::vector<std::size_t> compact_offsets(std::size_t(n) + 1, 0);
+    std::size_t w = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        compact_offsets[v] = w;
+        for (std::size_t i = out.offsets[v]; i < out.offsets[v + 1];
+             ++i) {
+            NodeId u = out.nbr[i];
+            if (seen[u] == v)
+                continue;
+            seen[u] = v;
+            out.nbr[w++] = u;
+        }
+    }
+    compact_offsets[n] = w;
+    out.nbr.resize(w);
+    out.nbr.shrink_to_fit();
+    out.offsets = std::move(compact_offsets);
+    return out;
+}
+
+namespace {
+
+enum class StreamKind { kLdg, kFennel, kHdrf };
+
+constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+
+/**
+ * The shared one-pass skeleton: vertices stream in ascending id
+ * order; each is placed by the kind's score over the partitions its
+ * already-placed distinct neighbors chose. A hard capacity
+ * (balance_slack * ideal share) is never exceeded — since total
+ * capacity >= n, at least one partition is always below it — and ties
+ * break to the least-loaded, then lowest-index partition.
+ */
+std::vector<std::uint32_t>
+stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
+                 const StreamingPartitionConfig &config, StreamKind kind)
+{
+    if (num_partitions == 0)
+        throw std::invalid_argument(
+            "stream_partition: num_partitions must be > 0");
+    if (config.balance_slack < 1.0)
+        throw std::invalid_argument(
+            "stream_partition: balance_slack must be >= 1");
+
+    const NodeId n = graph.num_nodes;
+    std::vector<std::uint32_t> assignment(n, 0);
+    if (n == 0 || num_partitions == 1)
+        return assignment;
+
+    const UndirectedCsr adj = build_undirected_csr(graph);
+    const std::uint32_t P = num_partitions;
+
+    const std::size_t ideal = (std::size_t(n) + P - 1) / P;
+    const std::size_t cap = std::max<std::size_t>(
+        ideal,
+        static_cast<std::size_t>(
+            std::ceil(config.balance_slack * double(ideal))));
+
+    // Fennel's standard alpha = m * P^(gamma-1) / n^gamma, with m the
+    // number of distinct undirected edges.
+    const double gamma = config.fennel_gamma;
+    const double m_und = double(adj.nbr.size()) / 2.0;
+    const double alpha =
+        m_und * std::pow(double(P), gamma - 1.0) /
+        std::pow(double(n), gamma);
+
+    std::fill(assignment.begin(), assignment.end(), kUnassigned);
+    std::vector<std::size_t> load(P, 0);
+    std::vector<double> pull(P, 0.0); ///< per-partition neighbor score
+    std::vector<std::uint32_t> touched;
+    touched.reserve(P);
+
+    for (NodeId v = 0; v < n; ++v) {
+        const double dv = adj.degree(v);
+        for (std::size_t i = adj.row_begin(v); i < adj.row_end(v);
+             ++i) {
+            const std::uint32_t p = assignment[adj.nbr[i]];
+            if (p == kUnassigned)
+                continue; // not yet streamed
+            if (pull[p] == 0.0)
+                touched.push_back(p);
+            if (kind == StreamKind::kHdrf) {
+                // Low-degree neighbors pull harder than hubs: weight
+                // 2 - d(u)/(d(u)+d(v)), in (1, 2).
+                const double du = adj.degree(adj.nbr[i]);
+                pull[p] += 2.0 - du / (du + dv);
+            } else {
+                pull[p] += 1.0;
+            }
+        }
+
+        double max_load = 0.0;
+        double min_load = 0.0;
+        if (kind == StreamKind::kHdrf) {
+            auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+            min_load = double(*mn);
+            max_load = double(*mx);
+        }
+
+        std::uint32_t best = kUnassigned;
+        double best_score = 0.0;
+        std::size_t best_load = 0;
+        for (std::uint32_t p = 0; p < P; ++p) {
+            if (load[p] >= cap)
+                continue; // hard balance bound
+            double score = 0.0;
+            switch (kind) {
+              case StreamKind::kLdg:
+                score = pull[p] * (1.0 - double(load[p]) / double(ideal));
+                break;
+              case StreamKind::kFennel:
+                score = pull[p] -
+                        alpha * gamma *
+                            std::pow(double(load[p]), gamma - 1.0);
+                break;
+              case StreamKind::kHdrf:
+                score = pull[p] +
+                        config.hdrf_lambda * (max_load - double(load[p])) /
+                            (1.0 + max_load - min_load);
+                break;
+            }
+            if (best == kUnassigned || score > best_score ||
+                (score == best_score && load[p] < best_load)) {
+                best = p;
+                best_score = score;
+                best_load = load[p];
+            }
+        }
+        assignment[v] = best;
+        ++load[best];
+
+        for (std::uint32_t p : touched)
+            pull[p] = 0.0;
+        touched.clear();
+    }
+    return assignment;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
+              const StreamingPartitionConfig &config)
+{
+    return stream_partition(graph, num_partitions, config,
+                            StreamKind::kLdg);
+}
+
+std::vector<std::uint32_t>
+fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
+                 const StreamingPartitionConfig &config)
+{
+    return stream_partition(graph, num_partitions, config,
+                            StreamKind::kFennel);
+}
+
+std::vector<std::uint32_t>
+hdrf_partition(const CooGraph &graph, std::uint32_t num_partitions,
+               const StreamingPartitionConfig &config)
+{
+    return stream_partition(graph, num_partitions, config,
+                            StreamKind::kHdrf);
+}
+
+} // namespace flowgnn

@@ -109,14 +109,15 @@ TEST(DifferentialFuzz, EngineMatchesReferenceOn200RandomGraphs)
     }
 }
 
-TEST(DifferentialFuzz, ShardedMatchesUnshardedOn48RandomGraphs)
+TEST(DifferentialFuzz, ShardedMatchesUnshardedOn56RandomGraphs)
 {
     constexpr ShardStrategy kStrategies[] = {
-        ShardStrategy::kModulo,
-        ShardStrategy::kContiguous,
-        ShardStrategy::kGreedyBalanced,
+        ShardStrategy::kModulo,        ShardStrategy::kContiguous,
+        ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+        ShardStrategy::kLdg,           ShardStrategy::kFennel,
+        ShardStrategy::kHdrf,
     };
-    constexpr int kCases = 48;
+    constexpr int kCases = 56; // exactly 8 cases per strategy (i % 7)
     for (int i = 0; i < kCases; ++i) {
         const std::uint64_t seed = 0x5AAD0000ull + i;
         const ModelKind kind =
@@ -136,7 +137,7 @@ TEST(DifferentialFuzz, ShardedMatchesUnshardedOn48RandomGraphs)
         cfg.p_node = 1 + i % 2; // even cases: bit-exact path
         ShardConfig shard;
         shard.num_shards = 2 + i % 3;
-        shard.strategy = kStrategies[(i / 3) % 3];
+        shard.strategy = kStrategies[i % std::size(kStrategies)];
 
         SCOPED_TRACE(::testing::Message()
                      << "case " << i << ": " << model_name(kind)

@@ -139,6 +139,56 @@ TEST(BarabasiAlbert, ZeroMThrows)
                  std::invalid_argument);
 }
 
+TEST(Rmat, DeterministicWithHeavyTailedDegrees)
+{
+    Rng a(42);
+    Rng b(42);
+    CooGraph ga = make_rmat(1024, 8192, a);
+    CooGraph gb = make_rmat(1024, 8192, b);
+    EXPECT_EQ(ga.edges, gb.edges);
+    EXPECT_EQ(ga.num_nodes, 1024u);
+    EXPECT_EQ(ga.num_edges(), 8192u);
+    for (const Edge &e : ga.edges) {
+        ASSERT_LT(e.src, 1024u);
+        ASSERT_LT(e.dst, 1024u);
+    }
+
+    // Skew: with the Graph500 parameters the hottest node draws far
+    // more than its uniform share of edges.
+    auto in = ga.in_degrees();
+    std::uint32_t max_in = *std::max_element(in.begin(), in.end());
+    EXPECT_GT(max_in, 10u * 8192u / 1024u);
+}
+
+TEST(Rmat, RejectsBadShapes)
+{
+    Rng rng(1);
+    EXPECT_THROW(make_rmat(0, 10, rng), std::invalid_argument);
+    EXPECT_THROW(make_rmat(1000, 10, rng), std::invalid_argument)
+        << "non-power-of-two node count";
+    EXPECT_THROW(make_rmat(16, 10, rng, 0.6, 0.3, 0.3),
+                 std::invalid_argument)
+        << "quadrant probabilities above 1";
+}
+
+TEST(PermuteNodeIds, PreservesStructureScramblesIds)
+{
+    CooGraph ring = make_ring_lattice(64, 2);
+    Rng rng(0x5C);
+    CooGraph shuffled = permute_node_ids(ring, rng);
+    EXPECT_EQ(shuffled.num_nodes, ring.num_nodes);
+    ASSERT_EQ(shuffled.num_edges(), ring.num_edges());
+    EXPECT_NE(shuffled.edges, ring.edges);
+
+    // Degree multiset is invariant under relabeling.
+    auto deg_sorted = [](const CooGraph &g) {
+        auto d = g.in_degrees();
+        std::sort(d.begin(), d.end());
+        return d;
+    };
+    EXPECT_EQ(deg_sorted(shuffled), deg_sorted(ring));
+}
+
 TEST(VirtualNode, ConnectsToAllNodesBothWays)
 {
     Rng rng(9);

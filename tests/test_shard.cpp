@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "graph/generators.h"
+#include "pool/scheduler.h"
 #include "shard/sharded_engine.h"
 #include "shard/sharded_service.h"
 #include "tensor/ops.h"
@@ -40,7 +41,9 @@ TEST(ShardAssignment, StrategiesCoverAllShardsAndStayInRange)
     CooGraph g = make_ring_lattice(100, 2);
     for (ShardStrategy strategy :
          {ShardStrategy::kModulo, ShardStrategy::kContiguous,
-          ShardStrategy::kGreedyBalanced}) {
+          ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+          ShardStrategy::kLdg, ShardStrategy::kFennel,
+          ShardStrategy::kHdrf}) {
         auto assignment = shard_assignment(g, 4, strategy);
         ASSERT_EQ(assignment.size(), g.num_nodes) << shard_strategy_name(strategy);
         std::vector<std::size_t> owned(4, 0);
@@ -55,13 +58,82 @@ TEST(ShardAssignment, StrategiesCoverAllShardsAndStayInRange)
     }
 }
 
-TEST(ShardAssignment, ContiguousIsEqualIdRanges)
+TEST(ShardAssignment, ContiguousIsBalancedIdRanges)
 {
+    // Balanced ranges: sizes differ by at most one (4/3/3), unlike
+    // the old ceil-chunk split's 4/4/2.
     CooGraph g = make_chain(10);
     auto assignment =
         shard_assignment(g, 3, ShardStrategy::kContiguous);
-    std::vector<std::uint32_t> expected = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2};
+    std::vector<std::uint32_t> expected = {0, 0, 0, 0, 1, 1, 1, 2, 2, 2};
     EXPECT_EQ(assignment, expected);
+}
+
+TEST(ShardAssignment, NearShardCountSplitsLeaveNoShardEmpty)
+{
+    // Regression: the ceil-chunk split emptied trailing shards
+    // whenever ceil(n/P)*(P-1) >= n — 9 nodes over 8 shards gave
+    // shards 0-3 two nodes and shards 5-7 none. Balanced ranges must
+    // give every shard at least one node whenever n >= P.
+    CooGraph g = make_chain(9);
+    for (ShardStrategy strategy : {ShardStrategy::kContiguous,
+                                   ShardStrategy::kBfsContiguous}) {
+        auto assignment = shard_assignment(g, 8, strategy);
+        std::vector<std::size_t> owned(8, 0);
+        for (auto s : assignment)
+            ++owned[s];
+        for (std::uint32_t s = 0; s < 8; ++s) {
+            EXPECT_GE(owned[s], 1u)
+                << shard_strategy_name(strategy) << " shard " << s;
+            EXPECT_LE(owned[s], 2u)
+                << shard_strategy_name(strategy) << " shard " << s;
+        }
+    }
+}
+
+TEST(ShardAssignment, FewerNodesThanShardsYieldsOnePerShard)
+{
+    // n < P is defined behavior: exactly n shards own one node each;
+    // make_shard_plan drops the rest, so downstream layers see the
+    // effective P.
+    CooGraph g = make_chain(3);
+    for (ShardStrategy strategy :
+         {ShardStrategy::kModulo, ShardStrategy::kContiguous,
+          ShardStrategy::kBfsContiguous}) {
+        auto assignment = shard_assignment(g, 8, strategy);
+        ASSERT_EQ(assignment.size(), 3u);
+        std::vector<std::size_t> owned(8, 0);
+        for (auto s : assignment) {
+            ASSERT_LT(s, 8u);
+            ++owned[s];
+        }
+        std::size_t non_empty = 0;
+        for (std::uint32_t s = 0; s < 8; ++s) {
+            EXPECT_LE(owned[s], 1u) << shard_strategy_name(strategy);
+            non_empty += owned[s] > 0;
+        }
+        EXPECT_EQ(non_empty, 3u) << shard_strategy_name(strategy);
+    }
+    // Streaming strategies may pair a node with an already-placed
+    // neighbor (capacity allows 2 here), but still produce several
+    // small non-empty shards rather than a collapse.
+    for (ShardStrategy strategy :
+         {ShardStrategy::kLdg, ShardStrategy::kFennel,
+          ShardStrategy::kHdrf}) {
+        auto assignment = shard_assignment(g, 8, strategy);
+        ASSERT_EQ(assignment.size(), 3u);
+        std::vector<std::size_t> owned(8, 0);
+        for (auto s : assignment) {
+            ASSERT_LT(s, 8u);
+            ++owned[s];
+        }
+        std::size_t non_empty = 0;
+        for (std::uint32_t s = 0; s < 8; ++s) {
+            EXPECT_LE(owned[s], 2u) << shard_strategy_name(strategy);
+            non_empty += owned[s] > 0;
+        }
+        EXPECT_GE(non_empty, 2u) << shard_strategy_name(strategy);
+    }
 }
 
 TEST(ShardAssignment, BfsContiguousRecoversLocalityOnShuffledRing)
@@ -226,7 +298,9 @@ TEST(ShardedEngine, EveryStrategyWithinToleranceAtDefaultConfig)
 
     for (ShardStrategy strategy :
          {ShardStrategy::kModulo, ShardStrategy::kContiguous,
-          ShardStrategy::kGreedyBalanced}) {
+          ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+          ShardStrategy::kLdg, ShardStrategy::kFennel,
+          ShardStrategy::kHdrf}) {
         ShardConfig shard;
         shard.num_shards = 4;
         shard.strategy = strategy;
@@ -458,6 +532,57 @@ TEST(ShardedService, RejectPolicyShedsShardedPathWhenFull)
     PoolStats st = service.stats();
     EXPECT_EQ(st.sharded.completed, 1u);
     EXPECT_EQ(st.sharded.submitted, 1u);
+}
+
+// ---- Effective-P agreement when slices are dropped --------------------
+
+TEST(ShardPlanEffectiveP, AllLayersAgreeWhenRequestExceedsNodes)
+{
+    // A P=4 request on a 3-node graph drops one empty slice. Every
+    // consumer of the plan — the plan itself, merge_shard_results,
+    // compose_shard_stats (via die_cycles), and the pool's die-lease
+    // accounting — must agree that the effective P is 3.
+    Model model = make_model(ModelKind::kGcn16, 16, 0);
+    GraphSample sample = make_random_sample(make_chain(3), 16, 0, 0x3A);
+    EngineConfig cfg;
+    cfg.p_node = 1;
+    ShardConfig shard;
+    shard.num_shards = 4;
+    shard.strategy = ShardStrategy::kContiguous;
+
+    GraphSample prepared = model.prepare(sample);
+    ShardPlan plan = make_shard_plan(model, prepared, shard);
+    EXPECT_TRUE(plan.sharded);
+    ASSERT_EQ(plan.slices.size(), 3u)
+        << "one slice per non-empty shard";
+
+    RunResult single = Engine(model, cfg).run(sample);
+    ShardedRunResult direct =
+        ShardedEngine(model, cfg, shard).run(sample);
+    EXPECT_EQ(direct.shards.size(), 3u);
+    EXPECT_EQ(direct.stats.die_cycles.size(), 3u)
+        << "compose_shard_stats must see exactly the live slices";
+    EXPECT_EQ(direct.stats.die_utilizations().size(), 3u);
+    EXPECT_TRUE(direct.embeddings == single.embeddings);
+    EXPECT_EQ(direct.prediction, single.prediction);
+
+    // The pool must lease exactly one die per live slice — a lease
+    // for the dropped slice would deadlock a gang start on a full
+    // pool and skew utilization.
+    PoolConfig pool_cfg;
+    pool_cfg.num_dies = 4;
+    PoolScheduler scheduler(model, cfg, pool_cfg);
+    ShardedRunResult pooled =
+        scheduler.submit_sharded(sample, shard).get();
+    scheduler.drain();
+    PoolStats st = scheduler.stats();
+    std::size_t leases = 0;
+    for (const DieStats &d : st.dies)
+        leases += d.leases;
+    EXPECT_EQ(leases, 3u);
+    EXPECT_LE(st.peak_busy_dies, 3u);
+    EXPECT_EQ(pooled.shards.size(), 3u);
+    EXPECT_TRUE(pooled.embeddings == single.embeddings);
 }
 
 // ---- The acceptance-scale check ---------------------------------------
