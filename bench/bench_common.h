@@ -63,18 +63,15 @@ run_stream(const Model &model, const EngineConfig &config,
 }
 
 /** Wraps any graph with deterministic Gaussian node features — the
- * one feature distribution every scale-out bench shares. */
+ * one feature distribution every scale-out bench shares
+ * (graph/sample.h's gaussian_features, also used by the io loader). */
 inline GraphSample
 with_features(CooGraph graph, std::size_t node_dim, std::uint64_t seed)
 {
     GraphSample s;
     s.graph = std::move(graph);
-    Rng rng(seed);
-    s.node_features = Matrix(s.graph.num_nodes, node_dim);
-    for (std::size_t r = 0; r < s.node_features.rows(); ++r)
-        for (std::size_t c = 0; c < node_dim; ++c)
-            s.node_features(r, c) =
-                static_cast<float>(rng.normal(0.0, 0.5));
+    s.node_features =
+        gaussian_features(s.graph.num_nodes, node_dim, seed);
     return s;
 }
 

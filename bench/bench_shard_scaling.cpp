@@ -9,9 +9,21 @@
  *   ./bench_shard_scaling [--nodes N] [--model gcn16|gcn|gin]
  *                         [--json PATH] [--sweep-nodes N]
  *                         [--sweep-json PATH] [--no-sweep]
+ *                         [--graph-file PATH] [--strategies a,b,..]
+ *                         [--shards 1,2,4,8]
  *
  * --json writes a machine-readable record of every point (consumed by
  * CI as a workflow artifact, so the bench trajectory is tracked).
+ *
+ * --graph-file replaces the synthetic ring lattice with a graph
+ * loaded from disk (FGNB binary / SNAP text / OGB CSV, see src/io) —
+ * the path that runs the strategy sweep on real edge lists, including
+ * the full-scale Reddit-class file written by flowgnn_make_reddit.
+ * Since on-disk graphs are usually power-law, the default strategy
+ * set switches to contiguous + fennel there; --strategies overrides
+ * either default, and --shards trims the shard-count ladder (a
+ * power-law graph's 2-hop closures saturate, so each P-shard point
+ * costs ~P full-graph runs).
  *
  * The second section is the strategy x graph-family sweep behind the
  * streaming partitioners: every ShardStrategy on a shuffled ring
@@ -30,6 +42,7 @@
 
 #include "bench_common.h"
 #include "graph/generators.h"
+#include "io/load.h"
 #include "shard/sharded_engine.h"
 #include "tensor/rng.h"
 
@@ -73,6 +86,27 @@ struct SweepFamily {
 
 using bench::with_features;
 
+/** Comma-separated list -> values, via one item parser. */
+template <typename T, typename Parse>
+std::vector<T>
+parse_list(const char *arg, Parse parse)
+{
+    std::vector<T> out;
+    std::string item;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!item.empty())
+                out.push_back(parse(item));
+            item.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            item += *p;
+        }
+    }
+    return out;
+}
+
 /** Most-loaded die's owned nodes over the ideal share, read from the
  * run's per-die breakdown (dropped empty slices own zero nodes and
  * cannot be the max). */
@@ -98,6 +132,9 @@ main(int argc, char **argv)
     std::string model_name_arg = "gcn16";
     std::string json_path;
     std::string sweep_json_path;
+    std::string graph_file;
+    std::vector<ShardStrategy> strategies;
+    std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
     for (int a = 1; a < argc; ++a) {
         if (!std::strcmp(argv[a], "--nodes") && a + 1 < argc)
             nodes = static_cast<NodeId>(std::atoll(argv[++a]));
@@ -111,7 +148,43 @@ main(int argc, char **argv)
             json_path = argv[++a];
         else if (!std::strcmp(argv[a], "--sweep-json") && a + 1 < argc)
             sweep_json_path = argv[++a];
+        else if (!std::strcmp(argv[a], "--graph-file") && a + 1 < argc)
+            graph_file = argv[++a];
+        else if (!std::strcmp(argv[a], "--strategies") && a + 1 < argc) {
+            try {
+                strategies = parse_list<ShardStrategy>(
+                    argv[++a], [](const std::string &s) {
+                        return shard_strategy_from_name(s);
+                    });
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 1;
+            }
+        }
+        else if (!std::strcmp(argv[a], "--shards") && a + 1 < argc)
+            shard_counts = parse_list<std::uint32_t>(
+                argv[++a], [](const std::string &s) {
+                    return static_cast<std::uint32_t>(
+                        std::atoll(s.c_str()));
+                });
     }
+    for (std::uint32_t shards : shard_counts)
+        if (shards == 0) { // also what atoll turns a typo into
+            std::fprintf(stderr,
+                         "error: --shards entries must be >= 1\n");
+            return 1;
+        }
+    // Ascending, so the P=1 baseline (when present) runs before the
+    // points whose speedup is computed against it.
+    std::sort(shard_counts.begin(), shard_counts.end());
+    if (strategies.empty())
+        strategies = graph_file.empty()
+                         ? std::vector<ShardStrategy>{
+                               ShardStrategy::kContiguous,
+                               ShardStrategy::kModulo}
+                         : std::vector<ShardStrategy>{
+                               ShardStrategy::kContiguous,
+                               ShardStrategy::kFennel};
     ModelKind kind = ModelKind::kGcn16;
     if (model_name_arg == "gcn")
         kind = ModelKind::kGcn;
@@ -119,23 +192,37 @@ main(int argc, char **argv)
         kind = ModelKind::kGin;
 
     constexpr std::size_t kNodeDim = 16;
-    GraphSample sample = make_workload(nodes, kNodeDim);
+    GraphSample sample;
+    if (graph_file.empty()) {
+        sample = make_workload(nodes, kNodeDim);
+    } else {
+        LoadOptions load;
+        load.node_dim = kNodeDim;
+        try {
+            sample = load_graph_sample(graph_file, load);
+        } catch (const GraphFileError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     Model model = make_model(kind, kNodeDim, 0);
 
     bench::banner(
         "multi-die shard scaling",
-        "Modeled cycles for one large graph split across P dies "
-        "(ring lattice, k=2: ids carry locality). Contiguous shards "
-        "cut only die boundaries; the modulo hash ignores locality "
-        "and replicates nearly everything — the cut metrics predict "
-        "which one scales.");
+        graph_file.empty()
+            ? "Modeled cycles for one large graph split across P dies "
+              "(ring lattice, k=2: ids carry locality). Contiguous "
+              "shards cut only die boundaries; the modulo hash ignores "
+              "locality and replicates nearly everything — the cut "
+              "metrics predict which one scales."
+            : "Modeled cycles for one on-disk graph split across P "
+              "dies. Loaded via flowgnn::io — the sharded stack runs "
+              "against storage, not a generator.");
+    if (!graph_file.empty())
+        std::printf("graph file: %s\n", graph_file.c_str());
     std::printf("graph: %u nodes / %zu edges, model %s, %u-hop halo\n\n",
                 sample.graph.num_nodes, sample.num_edges(),
                 model_name(kind), ShardedEngine::message_hops(model));
-
-    const std::uint32_t shard_counts[] = {1, 2, 4, 8};
-    const ShardStrategy strategies[] = {ShardStrategy::kContiguous,
-                                        ShardStrategy::kModulo};
 
     std::printf("%-12s %7s %14s %12s %9s %8s %8s\n", "strategy",
                 "shards", "cycles", "comm", "speedup", "cut", "repl");
@@ -157,11 +244,17 @@ main(int argc, char **argv)
             p.shards = shards;
             p.cycles = r.stats.total_cycles;
             p.comm_cycles = r.stats.comm_cycles;
-            p.speedup = static_cast<double>(base_cycles) /
-                        static_cast<double>(r.stats.total_cycles);
-            p.cut_fraction =
-                static_cast<double>(r.cut_edges) /
-                static_cast<double>(sample.num_edges());
+            // 0 when the --shards list omits the 1-die baseline.
+            p.speedup = base_cycles == 0
+                            ? 0.0
+                            : static_cast<double>(base_cycles) /
+                                  static_cast<double>(
+                                      r.stats.total_cycles);
+            p.cut_fraction = // 0 for edgeless graphs, not NaN-JSON
+                sample.num_edges() == 0
+                    ? 0.0
+                    : static_cast<double>(r.cut_edges) /
+                          static_cast<double>(sample.num_edges());
             p.replication = r.replication_factor;
             points.push_back(p);
             std::printf("%-12s %7u %14llu %12llu %8.2fx %8.3f %8.3f\n",
@@ -176,6 +269,9 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         std::ofstream os(json_path);
         os << "{\n  \"bench\": \"shard_scaling\",\n"
+           << "  \"graph\": \""
+           << (graph_file.empty() ? "ring-lattice-k2" : graph_file)
+           << "\",\n"
            << "  \"nodes\": " << sample.graph.num_nodes << ",\n"
            << "  \"edges\": " << sample.num_edges() << ",\n"
            << "  \"model\": \"" << model_name(kind) << "\",\n"
@@ -195,7 +291,9 @@ main(int argc, char **argv)
         std::printf("\nwrote %s\n", json_path.c_str());
     }
 
-    if (!run_sweep)
+    // The synthetic family sweep says nothing about an on-disk graph;
+    // file mode is the scaling section only.
+    if (!run_sweep || !graph_file.empty())
         return 0;
 
     // ---- Strategy x graph-family sweep ---------------------------------

@@ -7,12 +7,12 @@
  *
  * Reddit is simulated at 1/64 scale with the same average degree; its
  * cycle count is rescaled by 64 (both NT and MP work scale linearly in
- * nodes and edges), as documented in DESIGN.md.
+ * nodes and edges), as documented in docs/DESIGN.md.
  *
  * I-GCN/AWB-GCN consume the raw sparse node features (~1% dense), so
  * their effective input dimension is ~tens of nonzeros; we model that
  * by truncating our dense stand-in features to 16 dims for this
- * experiment ("pre-encoded features" substitution, see DESIGN.md).
+ * experiment ("pre-encoded features" substitution, see docs/DESIGN.md).
  */
 #include "bench_common.h"
 #include "perf/accelerators.h"

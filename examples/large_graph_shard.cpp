@@ -8,11 +8,28 @@
  * the workload the paper defers to future work (Sec. VI-E). The
  * example also runs the ShardedEngine directly to show the per-die
  * breakdown and verifies sharded == unsharded embeddings.
+ *
+ *   ./large_graph_shard [--graph-file PATH] [--shards P]
+ *                       [--strategy NAME]
+ *
+ * With --graph-file the synthetic walkthrough is replaced by the
+ * disk-backed one: the graph is loaded via flowgnn::io (FGNB binary /
+ * SNAP text / OGB CSV), sharded across P dies (default 8, default
+ * strategy fennel — the right family for power-law graphs like the
+ * full-scale Reddit-class file from flowgnn_make_reddit), and the
+ * merged embeddings are verified BIT-IDENTICAL against a single-die
+ * in-memory run of the same loaded graph (exit 1 on any mismatch).
+ * Single NT unit per die, which is the bit-exactness condition (see
+ * src/shard/sharded_engine.h).
  */
 #include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
 
 #include "datasets/dataset.h"
 #include "graph/generators.h"
+#include "io/load.h"
 #include "shard/sharded_engine.h"
 #include "shard/sharded_service.h"
 #include "tensor/ops.h"
@@ -20,9 +37,104 @@
 
 using namespace flowgnn;
 
+namespace {
+
+/** The disk-backed walkthrough: sharded-from-file vs in-memory. */
 int
-main()
+run_from_file(const std::string &path, std::uint32_t shards,
+              ShardStrategy strategy)
 {
+    constexpr std::size_t kNodeDim = 16;
+    LoadOptions load;
+    load.node_dim = kNodeDim;
+    std::printf("loading %s...\n", path.c_str());
+    GraphSample sample;
+    try {
+        sample = load_graph_sample(path, load);
+    } catch (const GraphFileError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::printf("loaded: %u nodes / %zu edges, node_dim %zu\n",
+                sample.num_nodes(), sample.num_edges(),
+                sample.node_dim());
+
+    Model model = make_model(ModelKind::kGcn16, sample.node_dim(), 0);
+    EngineConfig engine_cfg;
+    engine_cfg.p_node = 1; // single NT unit: bit-exact sharding
+    ShardConfig shard_cfg;
+    shard_cfg.num_shards = shards;
+    shard_cfg.strategy = strategy;
+
+    std::printf("sharded run: P=%u, %s, %u-hop halo...\n", shards,
+                shard_strategy_name(strategy),
+                ShardedEngine::message_hops(model));
+    ShardedEngine sharded(model, engine_cfg, shard_cfg);
+    ShardedRunResult r = sharded.run(sample);
+    for (const ShardInfo &info : r.shards)
+        std::printf("  die %u: %7zu owned + %7zu halo nodes, "
+                    "%9zu edges, %10llu compute + %8llu comm cycles\n",
+                    info.shard, info.owned_nodes, info.halo_nodes,
+                    info.subgraph_edges,
+                    static_cast<unsigned long long>(
+                        info.stats.total_cycles),
+                    static_cast<unsigned long long>(info.comm_cycles));
+    std::printf("cut %.4f, replication %.3f, merged %llu cycles\n",
+                sample.num_edges() == 0
+                    ? 0.0
+                    : static_cast<double>(r.cut_edges) /
+                          static_cast<double>(sample.num_edges()),
+                r.replication_factor,
+                static_cast<unsigned long long>(r.stats.total_cycles));
+
+    std::printf("in-memory single-die run for comparison...\n");
+    Engine single(model, engine_cfg);
+    RunResult reference = single.run(sample);
+
+    float diff = max_abs_diff(r.embeddings, reference.embeddings);
+    std::printf("sharded-from-disk vs in-memory: max |diff| = %g "
+                "(prediction %g vs %g), speedup %.2fx\n",
+                diff, r.prediction, reference.prediction,
+                static_cast<double>(reference.stats.total_cycles) /
+                    static_cast<double>(r.stats.total_cycles));
+    if (diff != 0.0f || r.prediction != reference.prediction) {
+        std::fprintf(stderr,
+                     "FAIL: sharded run is not bit-identical\n");
+        return 1;
+    }
+    std::printf("OK: bit-identical\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string graph_file;
+    std::uint32_t file_shards = 8;
+    ShardStrategy file_strategy = ShardStrategy::kFennel;
+    for (int a = 1; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--graph-file") && a + 1 < argc)
+            graph_file = argv[++a];
+        else if (!std::strcmp(argv[a], "--shards") && a + 1 < argc)
+            file_shards = static_cast<std::uint32_t>(
+                std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--strategy") && a + 1 < argc) {
+            try {
+                file_strategy = shard_strategy_from_name(argv[++a]);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 1;
+            }
+        }
+    }
+    if (file_shards == 0) { // also what atoll turns a typo into
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 1;
+    }
+    if (!graph_file.empty())
+        return run_from_file(graph_file, file_shards, file_strategy);
     constexpr NodeId kLargeNodes = 100000;
     constexpr std::size_t kNodeDim = 16;
 

@@ -647,7 +647,7 @@ Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
     // Input DMA: nodes, features, and the raw COO edge list stream in
     // at 64 words/cycle (a conservative fraction of the U50's 460 GB/s
     // HBM2 bandwidth, ~380 words/cycle at 300 MHz); not overlapped
-    // with compute, as documented in DESIGN.md.
+    // with compute, as documented in docs/DESIGN.md.
     stats.load_cycles = ceil_div(
         std::uint64_t(n_nodes) * (prepared.node_dim() + 1) +
             std::uint64_t(prepared.num_edges()) * (prepared.edge_dim() + 2),

@@ -7,10 +7,12 @@
  * deterministic generator reproducing the structural character that
  * matters to a workload-agnostic accelerator: graph count, node/edge
  * counts, degree distribution shape, and edge-feature presence.
- * Substitutions are documented in DESIGN.md; notably Reddit is
+ * Substitutions are documented in docs/DESIGN.md; notably Reddit is
  * generated at 1/64 scale (same average degree) and results are
- * extrapolated, and citation-graph node features use a dense dim-64
- * stand-in for the sparse binary bags-of-words.
+ * extrapolated — the full-scale Reddit-class graph comes from the
+ * flowgnn_make_reddit tool + flowgnn::io instead — and citation-graph
+ * node features use a dense dim-64 stand-in for the sparse binary
+ * bags-of-words.
  */
 #ifndef FLOWGNN_DATASETS_DATASET_H
 #define FLOWGNN_DATASETS_DATASET_H

@@ -100,6 +100,26 @@ shard_strategy_name(ShardStrategy strategy)
     return "unknown";
 }
 
+ShardStrategy
+shard_strategy_from_name(const std::string &name)
+{
+    constexpr ShardStrategy all[] = {
+        ShardStrategy::kModulo,        ShardStrategy::kContiguous,
+        ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+        ShardStrategy::kLdg,           ShardStrategy::kFennel,
+        ShardStrategy::kHdrf,
+    };
+    std::string valid;
+    for (ShardStrategy s : all) {
+        if (name == shard_strategy_name(s))
+            return s;
+        valid += valid.empty() ? "" : ", ";
+        valid += shard_strategy_name(s);
+    }
+    throw std::invalid_argument("unknown shard strategy '" + name +
+                                "' (valid: " + valid + ")");
+}
+
 std::vector<std::uint32_t>
 shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
                  ShardStrategy strategy)

@@ -20,6 +20,7 @@
 #define FLOWGNN_GRAPH_PARTITION_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -116,6 +117,13 @@ enum class ShardStrategy {
 
 /** Human-readable strategy name. */
 const char *shard_strategy_name(ShardStrategy strategy);
+
+/**
+ * Inverse of shard_strategy_name (exact match, e.g. "fennel",
+ * "bfs-contiguous"). Throws std::invalid_argument listing the valid
+ * names — the parse entry point for --strategy command-line flags.
+ */
+ShardStrategy shard_strategy_from_name(const std::string &name);
 
 /** Node -> shard owner map, each entry in [0, num_shards). */
 std::vector<std::uint32_t> shard_assignment(const CooGraph &graph,

@@ -1,8 +1,21 @@
 #include "graph/sample.h"
 
 #include "graph/generators.h"
+#include "tensor/rng.h"
 
 namespace flowgnn {
+
+Matrix
+gaussian_features(std::size_t rows, std::size_t cols,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = static_cast<float>(rng.normal(0.0, 0.5));
+    return m;
+}
 
 bool
 GraphSample::consistent() const

@@ -58,6 +58,16 @@ struct GraphSample {
 };
 
 /**
+ * Deterministic N(0, 0.5) feature matrix drawn row-major from
+ * Rng(seed) — the one synthetic feature distribution shared by the
+ * scale-out benches (bench::with_features), the io loader's generated
+ * features, and the graph-writer tools. Living here keeps the three
+ * call sites bit-identical by construction instead of by convention.
+ */
+Matrix gaussian_features(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed);
+
+/**
  * Returns a copy of the sample with a virtual node appended: the VN is
  * connected bidirectionally to every node, gets a zero feature row and
  * zero features on its edges, and is excluded from pooling.

@@ -19,6 +19,15 @@
  * kFennel, kHdrf} so every shard consumer (make_shard_plan,
  * ShardedEngine, ShardedService, pool jobs) picks them up with zero
  * call-site changes.
+ *
+ * Balance: a hard per-partition capacity of
+ * ceil(balance_slack * ceil(n/P)) owned vertices (default slack 1.1,
+ * i.e. at most 10% over the ideal share) is never exceeded, whatever
+ * the greedy scores prefer. The partitioners always emit P non-empty-
+ * capable labels, but on degenerate inputs (n < P, heavy clustering
+ * at tiny n) some partitions may end up owning nothing — downstream,
+ * make_shard_plan drops such empty shards and plan.slices.size()
+ * becomes the effective P (see shard/shard_plan.h).
  */
 #ifndef FLOWGNN_GRAPH_STREAMING_PARTITION_H
 #define FLOWGNN_GRAPH_STREAMING_PARTITION_H

@@ -1,0 +1,224 @@
+#include "io/edge_list.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace flowgnn {
+
+namespace {
+
+constexpr std::size_t kChunkBytes = 1 << 20; ///< 1 MiB read buffer
+
+[[noreturn]] void
+fail(const std::string &path, std::size_t line,
+     const std::string &reason)
+{
+    throw GraphFileError("edge list '" + path + "' line " +
+                         std::to_string(line) + ": " + reason);
+}
+
+struct FileCloser {
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/**
+ * Shared line-oriented scaffolding: reads the file in kChunkBytes
+ * chunks, carries the partial last line of each chunk into the next,
+ * strips CR, and hands every complete line (comment and blank lines
+ * included) to the line parser.
+ */
+class LineParser
+{
+  public:
+    LineParser(const std::string &path, char separator)
+        : path_(path), sep_(separator)
+    {
+    }
+
+    CooGraph
+    parse(const EdgeListOptions &options)
+    {
+        FilePtr f(std::fopen(path_.c_str(), "rb"));
+        if (!f)
+            throw GraphFileError("edge list '" + path_ +
+                                 "': cannot open for reading");
+        explicit_nodes_ = options.num_nodes;
+
+        std::vector<char> buf(kChunkBytes);
+        std::string carry;
+        std::size_t got;
+        while ((got = std::fread(buf.data(), 1, buf.size(), f.get())) >
+               0) {
+            const char *p = buf.data();
+            const char *end = p + got;
+            while (p < end) {
+                const char *nl = static_cast<const char *>(
+                    std::memchr(p, '\n', end - p));
+                if (!nl) {
+                    carry.append(p, end);
+                    break;
+                }
+                if (carry.empty()) {
+                    consume_line(p, nl);
+                } else {
+                    carry.append(p, nl);
+                    consume_line(carry.data(),
+                                 carry.data() + carry.size());
+                    carry.clear();
+                }
+                p = nl + 1;
+            }
+        }
+        if (std::ferror(f.get()))
+            throw GraphFileError("edge list '" + path_ +
+                                 "': read failed");
+        if (!carry.empty()) // final line without trailing newline
+            consume_line(carry.data(), carry.data() + carry.size());
+
+        CooGraph g;
+        g.num_nodes = explicit_nodes_ ? explicit_nodes_
+                                      : (saw_edge_ ? max_id_ + 1 : 0);
+        g.edges = std::move(edges_);
+        return g;
+    }
+
+  private:
+    void
+    consume_line(const char *begin, const char *end)
+    {
+        ++line_;
+        if (end > begin && end[-1] == '\r') // CRLF
+            --end;
+        const char *p = begin;
+        while (p < end && (*p == ' ' || *p == '\t'))
+            ++p;
+        if (p == end || *p == '#' || *p == '%')
+            return; // blank or comment line
+        NodeId u = parse_id(p, end, "source");
+        skip_separator(p, end);
+        NodeId v = parse_id(p, end, "destination");
+        // Anything after the pair must be whitespace or a comment
+        // (SNAP headers sometimes annotate; extra columns are not
+        // silently dropped as ids).
+        while (p < end && (*p == ' ' || *p == '\t' ||
+                           (sep_ == ',' && *p == ',')))
+            ++p;
+        if (p != end && *p != '#' && *p != '%')
+            fail(path_, line_, "trailing junk after edge pair");
+        edges_.push_back({u, v});
+        saw_edge_ = true;
+        if (u > max_id_)
+            max_id_ = u;
+        if (v > max_id_)
+            max_id_ = v;
+    }
+
+    NodeId
+    parse_id(const char *&p, const char *end, const char *what)
+    {
+        if (p == end || *p < '0' || *p > '9')
+            fail(path_, line_,
+                 std::string("expected a ") + what + " node id");
+        std::uint64_t v = 0;
+        while (p < end && *p >= '0' && *p <= '9') {
+            v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+            // >= max, not > max: num_nodes = max id + 1 must itself
+            // fit in 32 bits, so the top id value is reserved.
+            if (v >= std::numeric_limits<NodeId>::max())
+                fail(path_, line_,
+                     std::string(what) +
+                         " id overflows the 32-bit node id space");
+            ++p;
+        }
+        if (explicit_nodes_ && v >= explicit_nodes_)
+            fail(path_, line_,
+                 std::string(what) + " id " + std::to_string(v) +
+                     " >= declared node count " +
+                     std::to_string(explicit_nodes_));
+        return static_cast<NodeId>(v);
+    }
+
+    void
+    skip_separator(const char *&p, const char *end)
+    {
+        const char *start = p;
+        while (p < end && (*p == ' ' || *p == '\t'))
+            ++p;
+        if (sep_ == ',') {
+            // CSV means CSV: a comma is required, whitespace around
+            // it tolerated.
+            if (p == end || *p != ',')
+                fail(path_, line_, "expected ',' between node ids");
+            ++p;
+            while (p < end && (*p == ' ' || *p == '\t'))
+                ++p;
+        } else if (p == start) {
+            fail(path_, line_, "missing separator between node ids");
+        }
+    }
+
+    const std::string path_;
+    const char sep_;
+    std::vector<Edge> edges_;
+    std::size_t line_ = 0;
+    NodeId max_id_ = 0;
+    NodeId explicit_nodes_ = 0;
+    bool saw_edge_ = false;
+};
+
+/** Reads the first integer of `dir/num-node-list.csv` (0 if absent). */
+NodeId
+read_num_node_list(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return 0;
+    char buf[64];
+    std::size_t got = std::fread(buf, 1, sizeof buf - 1, f.get());
+    buf[got] = '\0';
+    std::uint64_t v = 0;
+    const char *p = buf;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p < '0' || *p > '9')
+        throw GraphFileError("'" + path +
+                             "': expected a leading node count");
+    while (*p >= '0' && *p <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+        if (v > std::numeric_limits<NodeId>::max())
+            throw GraphFileError("'" + path +
+                                 "': node count overflows 32 bits");
+        ++p;
+    }
+    return static_cast<NodeId>(v);
+}
+
+} // namespace
+
+CooGraph
+parse_snap_edge_list(const std::string &path,
+                     const EdgeListOptions &options)
+{
+    return LineParser(path, ' ').parse(options);
+}
+
+CooGraph
+parse_ogb_csv(const std::string &dir, const EdgeListOptions &options)
+{
+    EdgeListOptions opts = options;
+    if (opts.num_nodes == 0)
+        opts.num_nodes = read_num_node_list(dir + "/num-node-list.csv");
+    CooGraph g = LineParser(dir + "/edge.csv", ',').parse(opts);
+    return g;
+}
+
+} // namespace flowgnn

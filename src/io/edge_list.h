@@ -1,0 +1,67 @@
+/**
+ * @file
+ * flowgnn::io — streaming parsers for external edge-list formats.
+ *
+ * Two text formats cover the graphs people actually have on disk:
+ *
+ *  - SNAP-style whitespace edge lists (`u v` per line, `#`/`%`
+ *    comment lines, the format of the SNAP and KONECT collections),
+ *  - OGB-style CSV directories (`edge.csv` with `u,v` rows plus
+ *    `num-node-list.csv` carrying the node count, so isolated
+ *    trailing nodes are not lost).
+ *
+ * Both parse in bounded-memory chunks — a fixed read buffer with
+ * partial lines carried across chunk boundaries — so parsing a
+ * multi-gigabyte edge list never slurps the text into one string.
+ * Only the resulting edge vector grows with the graph. Blank lines
+ * and CRLF line endings are tolerated everywhere; duplicate edges and
+ * self-loops are kept (the engine and the partitioners handle
+ * multigraphs; dedup policy belongs to them, not the parser).
+ *
+ * Malformed input (non-numeric tokens, missing endpoints, ids
+ * overflowing 32 bits, ids >= an explicit node count) fails with a
+ * GraphFileError naming the path and line number.
+ */
+#ifndef FLOWGNN_IO_EDGE_LIST_H
+#define FLOWGNN_IO_EDGE_LIST_H
+
+#include <string>
+
+#include "io/graph_file.h"
+
+namespace flowgnn {
+
+/** Knobs shared by the text parsers. */
+struct EdgeListOptions {
+    /**
+     * Node count. 0 derives it as max endpoint id + 1 (trailing
+     * isolated nodes are then invisible — give the real count when
+     * you know it). When non-zero, any endpoint >= num_nodes is a
+     * parse error.
+     */
+    NodeId num_nodes = 0;
+};
+
+/**
+ * Parses a SNAP-style whitespace-separated edge list: one `u v` pair
+ * per line, `#` or `%` lines (and trailing `# comments` after the
+ * pair) ignored. Returns the raw directed COO graph in file order —
+ * SNAP files for undirected graphs usually list each edge once, so
+ * pass the result through CooGraph::with_reverse_edges() (or
+ * LoadOptions::symmetrize) when the model needs both directions.
+ */
+CooGraph parse_snap_edge_list(const std::string &path,
+                              const EdgeListOptions &options = {});
+
+/**
+ * Parses an OGB-style CSV dataset directory: `dir/edge.csv` holds
+ * `u,v` rows (no header), and `dir/num-node-list.csv`, when present,
+ * holds the node count (first row; the single-graph layout). An
+ * explicit EdgeListOptions::num_nodes overrides the file.
+ */
+CooGraph parse_ogb_csv(const std::string &dir,
+                       const EdgeListOptions &options = {});
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_IO_EDGE_LIST_H

@@ -1,0 +1,79 @@
+#include "io/load.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace flowgnn {
+
+const char *
+graph_file_format_name(GraphFileFormat format)
+{
+    switch (format) {
+      case GraphFileFormat::kAuto:
+        return "auto";
+      case GraphFileFormat::kBinary:
+        return "fgnb-binary";
+      case GraphFileFormat::kSnapText:
+        return "snap-text";
+      case GraphFileFormat::kOgbCsv:
+        return "ogb-csv";
+    }
+    return "?";
+}
+
+GraphFileFormat
+detect_graph_format(const std::string &path)
+{
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec))
+        return GraphFileFormat::kOgbCsv;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw GraphFileError("graph file '" + path +
+                             "': cannot open for reading");
+    std::uint32_t magic = 0;
+    std::size_t got = std::fread(&magic, 1, sizeof magic, f);
+    std::fclose(f);
+    if (got == sizeof magic && magic == io::kGraphFileMagic)
+        return GraphFileFormat::kBinary;
+    return GraphFileFormat::kSnapText;
+}
+
+GraphSample
+load_graph_sample(const std::string &path, const LoadOptions &options)
+{
+    GraphFileFormat format = options.format;
+    if (format == GraphFileFormat::kAuto)
+        format = detect_graph_format(path);
+
+    GraphSample s;
+    if (format == GraphFileFormat::kBinary) {
+        s = GraphFile::load(path);
+    } else {
+        EdgeListOptions eopts;
+        eopts.num_nodes = options.num_nodes;
+        s.graph = format == GraphFileFormat::kOgbCsv
+                      ? parse_ogb_csv(path, eopts)
+                      : parse_snap_edge_list(path, eopts);
+        if (options.symmetrize)
+            s.graph = s.graph.with_reverse_edges();
+        s.node_features = Matrix(s.graph.num_nodes, 0);
+    }
+
+    if (s.graph.num_nodes == 0)
+        throw GraphFileError(
+            "graph file '" + path +
+            "': contains no nodes — empty file, or not really " +
+            graph_file_format_name(format) + "?");
+
+    if (s.node_features.cols() == 0 && options.node_dim > 0)
+        // Same deterministic N(0, 0.5) features as the synthetic
+        // scale-out workloads (bench::with_features), so a graph
+        // loaded from disk is directly comparable to a generated one.
+        s.node_features = gaussian_features(
+            s.graph.num_nodes, options.node_dim,
+            options.feature_seed);
+    return s;
+}
+
+} // namespace flowgnn

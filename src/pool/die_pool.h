@@ -22,16 +22,19 @@
 
 namespace flowgnn {
 
-/** Per-die share of the pool's work, for utilization monitoring. */
+/** Per-die share of the pool's work, for utilization monitoring.
+ * Times are wall-clock milliseconds (host time, not modeled kernel
+ * cycles — the modeled counterpart is pool/schedule_sim.h). */
 struct DieStats {
     std::size_t leases = 0;   ///< tasks executed on this die
-    double busy_ms = 0.0;     ///< wall time spent leased
-    double utilization = 0.0; ///< busy_ms / pool uptime
+    double busy_ms = 0.0;     ///< wall ms spent leased
+    double utilization = 0.0; ///< busy_ms / pool uptime, in [0, 1]
 };
 
-/** One busy-count transition: after `t_ms` (since the pool's epoch),
- * `busy` dies were leased. The sequence is the pool's occupancy
- * timeline — the ground truth for "did jobs actually overlap". */
+/** One busy-count transition: after `t_ms` (wall ms since the pool's
+ * epoch), `busy` dies were leased. The sequence is the pool's
+ * occupancy timeline — the ground truth for "did jobs actually
+ * overlap". */
 struct OccupancyPoint {
     double t_ms = 0.0;
     std::size_t busy = 0;

@@ -18,10 +18,12 @@
 
 namespace flowgnn {
 
-/** One job of a simulated trace. */
+/** One job of a simulated trace. All times in this header are modeled
+ * kernel cycles (take them from RunStats of isolated runs), not wall
+ * time — which is what makes the simulator's output flake-free. */
 struct SimJob {
-    /** Modeled duration of each shard task (cycles). Size = job width;
-     * must be <= the simulated die count. */
+    /** Modeled duration of each shard task (kernel cycles). Size =
+     * job width; must be <= the simulated die count. */
     std::vector<std::uint64_t> task_cycles;
     /** Submission time (cycles since trace start). */
     std::uint64_t arrival = 0;

@@ -94,7 +94,11 @@ struct PoolPathStats {
     std::size_t rejected = 0;
 };
 
-/** Aggregate pool telemetry since construction (or last start()). */
+/** Aggregate pool telemetry since construction (or last start()).
+ * All *_ms fields are wall-clock milliseconds; a sharded job that was
+ * clamped or lost empty slices counts die leases at its effective P
+ * (plan.slices.size(), see shard/shard_plan.h), never the requested
+ * num_shards. */
 struct PoolStats {
     PoolPathStats fast;    ///< whole-graph (one-die) jobs
     PoolPathStats sharded; ///< multi-slice jobs

@@ -12,6 +12,14 @@
  * one NT unit, since closures preserve ascending global id order).
  * Keeping planning separate from execution is what lets a scheduler
  * dispatch slices of *different* graphs onto whichever dies are free.
+ *
+ * Units: every *_cycles field below is kernel cycles at the die's
+ * configured clock (EngineConfig::clock_mhz); every *_words field is
+ * 4-byte words. Effective P: a plan may hold fewer slices than
+ * ShardConfig::num_shards requested (empty closures are dropped, e.g.
+ * n < P); plan.slices.size() is the authoritative effective P, and
+ * every downstream layer — merge_shard_results, the composed
+ * RunStats::die_cycles, pool die leases — agrees with it.
  */
 #ifndef FLOWGNN_SHARD_SHARD_PLAN_H
 #define FLOWGNN_SHARD_SHARD_PLAN_H
@@ -31,7 +39,8 @@ struct LinkConfig {
      * fraction of the 64 words/cycle HBM ingest the engine models:
      * die-to-die serial links are narrower than local memory. */
     std::uint32_t words_per_cycle = 16;
-    /** Fixed per-transfer latency (link setup + flight time). */
+    /** Fixed per-transfer latency (link setup + flight time), in
+     * kernel cycles at the die clock. */
     std::uint64_t latency_cycles = 500;
     /**
      * Overlap the halo fetch with the die's input DMA instead of
@@ -70,13 +79,18 @@ struct ShardConfig {
 
 /** Per-die breakdown of one sharded run. */
 struct ShardInfo {
+    /** Original shard index from the assignment (stable even when
+     * empty slices were dropped, so it may skip values). */
     std::uint32_t shard = 0;
     std::size_t owned_nodes = 0;
     std::size_t halo_nodes = 0;      ///< replicated (ghost) nodes
     std::size_t subgraph_edges = 0;  ///< edges in the die's subgraph
     std::size_t fetched_edges = 0;   ///< subgraph edges not owned here
-    std::uint64_t halo_words = 0;    ///< words over the inter-die link
-    std::uint64_t comm_cycles = 0;   ///< halo fetch charged to this die
+    std::uint64_t halo_words = 0;    ///< 4-byte words over the link
+    /** Halo fetch charged to this die: halo_words at
+     * LinkConfig::words_per_cycle plus latency_cycles, in kernel
+     * cycles. 0 for the die of a non-sharded plan. */
+    std::uint64_t comm_cycles = 0;
     RunStats stats;                  ///< the die's own engine stats
 };
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link target in the repo's *.md
+# files (root + docs/) must exist. Exists so a dangling reference like
+# the DESIGN.md one that sat in the tree for four PRs fails CI instead
+# of rotting. External (http/https/mailto) and pure-anchor links are
+# skipped; "#section" fragments on relative links are stripped before
+# the existence check. No dependencies beyond POSIX tools.
+#
+#   tools/check_md_links.sh [repo-root]     # exit 1 on any broken link
+set -u
+
+root="${1:-.}"
+checked=0
+# The broken-link marker escapes the grep|while subshell via the
+# filesystem; clear any stale one from an interrupted earlier run
+# before it can fail a clean tree.
+rm -f "$root/.md_link_check_failed"
+trap 'rm -f "$root/.md_link_check_failed"' EXIT
+
+for md in "$root"/*.md "$root"/docs/*.md "$root"/bench/results/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Inline markdown links/images: capture the (...) target.
+    grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//' |
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"          # strip fragment
+        path="${path%% *}"            # strip optional '... "title"'
+        [ -n "$path" ] || continue
+        # Resolve relative to the containing file ONLY — that is how
+        # markdown renderers resolve links; a root-relative fallback
+        # would hide exactly the dangling-link class this exists for.
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $md -> $target"
+            # Propagate failure out of the pipeline subshell.
+            touch "$root/.md_link_check_failed"
+        fi
+    done
+    checked=$((checked + 1))
+done
+
+if [ -e "$root/.md_link_check_failed" ]; then
+    rm -f "$root/.md_link_check_failed"
+    echo "markdown link check FAILED"
+    exit 1
+fi
+echo "markdown link check OK ($checked files)"
