@@ -10,10 +10,24 @@
  *                         [--json PATH] [--sweep-nodes N]
  *                         [--sweep-json PATH] [--no-sweep]
  *                         [--graph-file PATH] [--strategies a,b,..]
- *                         [--shards 1,2,4,8]
+ *                         [--shards 1,2,4,8] [--modes halo,ghost]
+ *                         [--restream N] [--restream-json PATH]
  *
  * --json writes a machine-readable record of every point (consumed by
  * CI as a workflow artifact, so the bench trajectory is tracked).
+ *
+ * --modes runs the scaling section per ShardMode — the halo-vs-ghost
+ * head-to-head is the default. Every point reports the peak per-die
+ * resident footprint next to cycles and replication, so the table
+ * shows both what sharding buys in capacity and what it costs (halo)
+ * or earns (ghost) in modeled time. The P=1 baseline is mode-
+ * independent and runs once per strategy.
+ *
+ * --restream N applies N restreaming passes (Nishimura & Ugander) to
+ * every streaming-partitioned point. The separate restreaming study
+ * (always in synthetic mode, with --restream-json in file mode too)
+ * sweeps pass count for LDG/Fennel/HDRF on a Barabási–Albert graph —
+ * partition-only, no engine runs — and reports how the cut decays.
  *
  * --graph-file replaces the synthetic ring lattice with a graph
  * loaded from disk (FGNB binary / SNAP text / OGB CSV, see src/io) —
@@ -42,6 +56,7 @@
 
 #include "bench_common.h"
 #include "graph/generators.h"
+#include "graph/partition.h"
 #include "io/load.h"
 #include "shard/sharded_engine.h"
 #include "tensor/rng.h"
@@ -58,13 +73,25 @@ make_workload(NodeId nodes, std::size_t node_dim)
 
 struct Point {
     const char *strategy;
+    const char *mode;
     std::uint32_t shards;
     std::uint64_t cycles;
     std::uint64_t comm_cycles;
+    std::uint64_t resident_words; ///< peak per-die footprint
     double speedup;
     double cut_fraction;
     double replication;
 };
+
+/** Largest per-die resident footprint in one run's breakdown. */
+std::uint64_t
+peak_resident(const ShardedRunResult &r)
+{
+    std::uint64_t peak = 0;
+    for (const ShardInfo &info : r.shards)
+        peak = std::max(peak, info.resident_words);
+    return peak;
+}
 
 struct SweepPoint {
     const char *strategy;
@@ -133,8 +160,12 @@ main(int argc, char **argv)
     std::string json_path;
     std::string sweep_json_path;
     std::string graph_file;
+    std::string restream_json_path;
+    std::uint32_t restream_passes = 0;
     std::vector<ShardStrategy> strategies;
     std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
+    std::vector<ShardMode> modes = {ShardMode::kHaloReplication,
+                                    ShardMode::kGhostExchange};
     for (int a = 1; a < argc; ++a) {
         if (!std::strcmp(argv[a], "--nodes") && a + 1 < argc)
             nodes = static_cast<NodeId>(std::atoll(argv[++a]));
@@ -167,6 +198,27 @@ main(int argc, char **argv)
                     return static_cast<std::uint32_t>(
                         std::atoll(s.c_str()));
                 });
+        else if (!std::strcmp(argv[a], "--modes") && a + 1 < argc) {
+            try {
+                modes = parse_list<ShardMode>(
+                    argv[++a], [](const std::string &s) {
+                        if (s == "halo")
+                            return ShardMode::kHaloReplication;
+                        if (s == "ghost")
+                            return ShardMode::kGhostExchange;
+                        throw std::invalid_argument(
+                            "--modes entries must be halo or ghost");
+                    });
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 1;
+            }
+        }
+        else if (!std::strcmp(argv[a], "--restream") && a + 1 < argc)
+            restream_passes = static_cast<std::uint32_t>(
+                std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--restream-json") && a + 1 < argc)
+            restream_json_path = argv[++a];
     }
     for (std::uint32_t shards : shard_counts)
         if (shards == 0) { // also what atoll turns a typo into
@@ -224,46 +276,68 @@ main(int argc, char **argv)
                 sample.graph.num_nodes, sample.num_edges(),
                 model_name(kind), ShardedEngine::message_hops(model));
 
-    std::printf("%-12s %7s %14s %12s %9s %8s %8s\n", "strategy",
-                "shards", "cycles", "comm", "speedup", "cut", "repl");
-    bench::rule(76);
+    std::printf("%-12s %-6s %7s %14s %12s %14s %9s %8s %8s\n",
+                "strategy", "mode", "shards", "cycles", "comm",
+                "resident", "speedup", "cut", "repl");
+    bench::rule(96);
 
     std::vector<Point> points;
     for (ShardStrategy strategy : strategies) {
+        // P=1 runs the identical whole-graph path in both modes, so
+        // the (expensive, on Reddit-class files) baseline runs once
+        // per strategy and its row is reused across modes.
         std::uint64_t base_cycles = 0;
-        for (std::uint32_t shards : shard_counts) {
-            ShardConfig cfg;
-            cfg.num_shards = shards;
-            cfg.strategy = strategy;
-            ShardedRunResult r =
-                ShardedEngine(model, {}, cfg).run(sample);
-            if (shards == 1)
-                base_cycles = r.stats.total_cycles;
-            Point p;
-            p.strategy = shard_strategy_name(strategy);
-            p.shards = shards;
-            p.cycles = r.stats.total_cycles;
-            p.comm_cycles = r.stats.comm_cycles;
-            // 0 when the --shards list omits the 1-die baseline.
-            p.speedup = base_cycles == 0
+        bool have_base = false;
+        Point base_point{};
+        for (ShardMode mode : modes) {
+            for (std::uint32_t shards : shard_counts) {
+                Point p;
+                if (shards == 1 && have_base) {
+                    p = base_point;
+                } else {
+                    ShardConfig cfg;
+                    cfg.num_shards = shards;
+                    cfg.strategy = strategy;
+                    cfg.mode = mode;
+                    cfg.restream_passes = restream_passes;
+                    ShardedRunResult r =
+                        ShardedEngine(model, {}, cfg).run(sample);
+                    p.strategy = shard_strategy_name(strategy);
+                    p.shards = shards;
+                    p.cycles = r.stats.total_cycles;
+                    p.comm_cycles = r.stats.comm_cycles;
+                    p.resident_words = peak_resident(r);
+                    p.cut_fraction = // 0 for edgeless graphs, not NaN
+                        sample.num_edges() == 0
                             ? 0.0
-                            : static_cast<double>(base_cycles) /
+                            : static_cast<double>(r.cut_edges) /
                                   static_cast<double>(
-                                      r.stats.total_cycles);
-            p.cut_fraction = // 0 for edgeless graphs, not NaN-JSON
-                sample.num_edges() == 0
-                    ? 0.0
-                    : static_cast<double>(r.cut_edges) /
-                          static_cast<double>(sample.num_edges());
-            p.replication = r.replication_factor;
-            points.push_back(p);
-            std::printf("%-12s %7u %14llu %12llu %8.2fx %8.3f %8.3f\n",
-                        p.strategy, p.shards,
-                        static_cast<unsigned long long>(p.cycles),
-                        static_cast<unsigned long long>(p.comm_cycles),
-                        p.speedup, p.cut_fraction, p.replication);
+                                      sample.num_edges());
+                    p.replication = r.replication_factor;
+                    if (shards == 1) {
+                        base_cycles = p.cycles;
+                        base_point = p;
+                        have_base = true;
+                    }
+                }
+                p.mode = shard_mode_name(mode);
+                // 0 when the --shards list omits the 1-die baseline.
+                p.speedup = base_cycles == 0
+                                ? 0.0
+                                : static_cast<double>(base_cycles) /
+                                      static_cast<double>(p.cycles);
+                points.push_back(p);
+                std::printf(
+                    "%-12s %-6s %7u %14llu %12llu %14llu %8.2fx "
+                    "%8.3f %8.3f\n",
+                    p.strategy, p.mode, p.shards,
+                    static_cast<unsigned long long>(p.cycles),
+                    static_cast<unsigned long long>(p.comm_cycles),
+                    static_cast<unsigned long long>(p.resident_words),
+                    p.speedup, p.cut_fraction, p.replication);
+            }
+            bench::rule(96);
         }
-        bench::rule(76);
     }
 
     if (!json_path.empty()) {
@@ -275,13 +349,16 @@ main(int argc, char **argv)
            << "  \"nodes\": " << sample.graph.num_nodes << ",\n"
            << "  \"edges\": " << sample.num_edges() << ",\n"
            << "  \"model\": \"" << model_name(kind) << "\",\n"
+           << "  \"restream\": " << restream_passes << ",\n"
            << "  \"points\": [\n";
         for (std::size_t i = 0; i < points.size(); ++i) {
             const Point &p = points[i];
             os << "    {\"strategy\": \"" << p.strategy
+               << "\", \"mode\": \"" << p.mode
                << "\", \"shards\": " << p.shards
                << ", \"cycles\": " << p.cycles
                << ", \"comm_cycles\": " << p.comm_cycles
+               << ", \"resident_words\": " << p.resident_words
                << ", \"speedup\": " << p.speedup
                << ", \"cut_fraction\": " << p.cut_fraction
                << ", \"replication\": " << p.replication << "}"
@@ -289,6 +366,97 @@ main(int argc, char **argv)
         }
         os << "  ]\n}\n";
         std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    // ---- Restreaming study: partition-only, so it is cheap even on
+    // big files, but file mode still gates it behind --restream-json
+    // (multi-pass Fennel over 10^8 edges is minutes, not seconds). ----
+    if (graph_file.empty() || !restream_json_path.empty()) {
+        bench::banner(
+            "restreaming partitioners (Nishimura & Ugander)",
+            "Re-running a streaming partitioner with the previous "
+            "assignment as the tie-break prior lets early vertices see "
+            "where their late neighbors landed. Cut fraction vs pass "
+            "count for LDG/Fennel/HDRF at P = 8; pass 0 is the plain "
+            "one-shot stream.");
+
+        const CooGraph *restream_graph;
+        CooGraph ba_graph;
+        const char *restream_graph_name;
+        if (graph_file.empty()) {
+            Rng ba_rng(0xB16B01);
+            ba_graph = make_barabasi_albert(sweep_nodes, 4, ba_rng);
+            restream_graph = &ba_graph;
+            restream_graph_name = "barabasi-albert";
+        } else {
+            restream_graph = &sample.graph;
+            restream_graph_name = graph_file.c_str();
+        }
+
+        struct RestreamPoint {
+            const char *strategy;
+            std::uint32_t passes;
+            double cut_fraction;
+        };
+        const ShardStrategy restream_strategies[] = {
+            ShardStrategy::kLdg, ShardStrategy::kFennel,
+            ShardStrategy::kHdrf};
+        const std::size_t n_edges = restream_graph->edges.size();
+        std::vector<RestreamPoint> restream_points;
+        std::printf("graph: %s, %u nodes / %zu edges, P = 8\n\n",
+                    restream_graph_name, restream_graph->num_nodes,
+                    n_edges);
+        std::printf("%-12s %7s %10s %10s\n", "strategy", "passes",
+                    "cut", "vs pass0");
+        bench::rule(44);
+        for (ShardStrategy strategy : restream_strategies) {
+            double pass0_cut = 0.0;
+            for (std::uint32_t passes = 0; passes <= 3; ++passes) {
+                ShardConfig cfg;
+                cfg.num_shards = 8;
+                cfg.strategy = strategy;
+                cfg.restream_passes = passes;
+                std::vector<std::uint32_t> assignment =
+                    shard_plan_assignment(*restream_graph, cfg);
+                RestreamPoint p;
+                p.strategy = shard_strategy_name(strategy);
+                p.passes = passes;
+                p.cut_fraction =
+                    n_edges == 0
+                        ? 0.0
+                        : static_cast<double>(shard_cut_edges(
+                              *restream_graph, assignment)) /
+                              static_cast<double>(n_edges);
+                if (passes == 0)
+                    pass0_cut = p.cut_fraction;
+                restream_points.push_back(p);
+                std::printf("%-12s %7u %10.4f %9.3fx\n", p.strategy,
+                            p.passes, p.cut_fraction,
+                            pass0_cut == 0.0
+                                ? 1.0
+                                : p.cut_fraction / pass0_cut);
+            }
+            bench::rule(44);
+        }
+
+        if (!restream_json_path.empty()) {
+            std::ofstream os(restream_json_path);
+            os << "{\n  \"bench\": \"restream\",\n"
+               << "  \"graph\": \"" << restream_graph_name << "\",\n"
+               << "  \"nodes\": " << restream_graph->num_nodes << ",\n"
+               << "  \"edges\": " << n_edges << ",\n"
+               << "  \"shards\": 8,\n  \"points\": [\n";
+            for (std::size_t i = 0; i < restream_points.size(); ++i) {
+                const RestreamPoint &p = restream_points[i];
+                os << "    {\"strategy\": \"" << p.strategy
+                   << "\", \"passes\": " << p.passes
+                   << ", \"cut_fraction\": " << p.cut_fraction << "}"
+                   << (i + 1 < restream_points.size() ? "," : "")
+                   << "\n";
+            }
+            os << "  ]\n}\n";
+            std::printf("\nwrote %s\n", restream_json_path.c_str());
+        }
     }
 
     // The synthetic family sweep says nothing about an on-disk graph;

@@ -1,0 +1,562 @@
+#include "core/phase_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/fifo.h"
+
+namespace flowgnn {
+
+namespace {
+
+/** One entry in an adapter-to-MP queue. */
+struct QueueEntry {
+    NodeId node = 0;
+    std::uint32_t granules = 1;   ///< scatter granules carried
+    bool final_entry = false;     ///< last entry for this node
+};
+
+/** NT unit: double-buffered accumulate/output state machine. */
+struct NtUnitState {
+    std::vector<NodeId> nodes; ///< assigned nodes, in order
+    std::size_t next = 0;      ///< next node to start accumulating
+    bool acc_active = false;
+    NodeId acc_node = 0;
+    std::uint64_t acc_rem = 0;
+    std::uint64_t acc_start = 0; ///< cycle the accumulate began (trace)
+    std::uint64_t out_start = 0; ///< cycle the output began (trace)
+    bool pong_full = false; ///< node finished acc, waiting to stream
+    NodeId pong_node = 0;
+    bool out_active = false;
+    NodeId out_node = 0;
+    std::uint32_t out_sent = 0; ///< elements streamed so far
+
+    bool
+    done() const
+    {
+        return next >= nodes.size() && !acc_active && !pong_full &&
+               !out_active;
+    }
+};
+
+/** Adapter port: Papply -> Pscatter re-batching + multicast. */
+struct AdapterPort {
+    bool active = false;
+    NodeId node = 0;
+    std::uint32_t received = 0; ///< elements received from NT
+    std::uint32_t emitted_granules = 0;
+    std::uint32_t total_granules = 0;
+    const std::vector<BankWork> *targets = nullptr;
+};
+
+/** MP unit: consumes queue entries, one edge-granule per cycle. */
+struct MpUnitState {
+    bool busy = false;
+    QueueEntry entry;
+    std::uint64_t rem = 0;
+    std::uint64_t entry_start = 0; ///< cycle the entry began (trace)
+    std::size_t rr_cursor = 0; ///< round-robin over source queues
+};
+
+std::uint32_t
+bank_edges(const std::vector<BankWork> &banks, std::uint32_t bank)
+{
+    for (const auto &bw : banks)
+        if (bw.bank == bank)
+            return bw.edges;
+    return 0;
+}
+
+/**
+ * Cycle-stepped simulation of one phase for the queue-based modes
+ * (baseline dataflow and FlowGNN). whole_node_handoff selects the
+ * baseline behaviour where MP only starts a node after its entire
+ * embedding arrived (Fig. 4(c) vs (d)).
+ */
+std::uint64_t
+simulate_phase(const PhaseEnv &env, bool whole_node_handoff)
+{
+    const PhaseWork &w = env.work;
+    const EngineConfig &cfg = env.cfg;
+    const std::uint32_t pn = cfg.p_node;
+    const std::uint32_t pe = cfg.p_edge;
+    const std::uint32_t pa = cfg.p_apply;
+    const std::uint32_t ps = cfg.p_scatter;
+    const std::uint32_t sg_total =
+        w.stream_elems == 0
+            ? 0
+            : static_cast<std::uint32_t>(
+                  ceil_div_u64(w.stream_elems, ps));
+
+    // Assign nodes round-robin to NT units.
+    std::vector<NtUnitState> nt(pn);
+    for (NodeId n = 0; n < w.n_nodes; ++n)
+        nt[n % pn].nodes.push_back(n);
+
+    std::vector<AdapterPort> port(pn);
+    std::vector<MpUnitState> mp(pe);
+    std::vector<Fifo<QueueEntry>> queues;
+    queues.reserve(std::size_t(pn) * pe);
+    for (std::size_t i = 0; i < std::size_t(pn) * pe; ++i)
+        queues.emplace_back(cfg.queue_depth);
+    auto queue_at = [&](std::uint32_t u, std::uint32_t m) -> auto & {
+        return queues[std::size_t(u) * pe + m];
+    };
+
+    // Generous livelock guard: every unit of work costs >= 1 cycle.
+    std::uint64_t work_bound = 1000000;
+    for (NodeId n = 0; n < w.n_nodes; ++n) {
+        work_bound += (*w.acc_cycles)[n] + w.stream_elems;
+        if (w.has_scatter)
+            for (const auto &bw : (*w.banks)[n])
+                work_bound +=
+                    std::uint64_t(bw.edges) * sg_total * w.expansion;
+    }
+    work_bound = work_bound * 4 + 1000000;
+
+    const bool tracing = env.opts.capture_trace;
+    auto emit = [&](TraceKind kind, std::uint32_t unit, NodeId node,
+                    std::uint64_t start, std::uint64_t end) {
+        if (tracing && end > start)
+            env.stats.trace.push_back(
+                {kind, unit, node, env.base_cycle + start,
+                 env.base_cycle + end});
+    };
+
+    std::uint64_t cycle = 0;
+    auto all_done = [&] {
+        for (const auto &u : nt)
+            if (!u.done())
+                return false;
+        for (const auto &p : port)
+            if (p.active)
+                return false;
+        for (const auto &q : queues)
+            if (!q.empty())
+                return false;
+        for (const auto &m : mp)
+            if (m.busy)
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        if (cycle > work_bound)
+            throw std::runtime_error("Engine: phase livelock detected");
+        ++cycle;
+
+        // 1. MP units consume (oldest pipeline stage first so data
+        //    moves at most one hop per cycle).
+        for (std::uint32_t m = 0; m < pe; ++m) {
+            auto &unit = mp[m];
+            if (unit.busy) {
+                --unit.rem;
+                env.stats.mp_units[m].busy++;
+                if (unit.rem == 0) {
+                    if (unit.entry.final_entry && w.on_mp_complete)
+                        w.on_mp_complete(unit.entry.node, m);
+                    emit(TraceKind::kMpWork, m, unit.entry.node,
+                         unit.entry_start, cycle);
+                    unit.busy = false;
+                }
+                continue;
+            }
+            // Pop next entry, round-robin over source NT queues.
+            bool popped = false;
+            for (std::uint32_t probe = 0; probe < pn && !popped; ++probe) {
+                std::uint32_t u = (unit.rr_cursor + probe) % pn;
+                auto &q = queue_at(u, m);
+                if (q.empty())
+                    continue;
+                unit.entry = q.pop();
+                unit.rr_cursor = (u + 1) % pn;
+                std::uint32_t deg =
+                    bank_edges((*w.banks)[unit.entry.node], m);
+                unit.rem = std::uint64_t(deg) * unit.entry.granules *
+                           w.expansion;
+                if (unit.rem == 0)
+                    unit.rem = 1; // entry consumption itself
+                unit.busy = true;
+                unit.entry_start = cycle - 1;
+                popped = true;
+                env.stats.mp_edge_work[m] +=
+                    std::uint64_t(deg) * unit.entry.granules;
+                // Spend this cycle on the first unit of work.
+                --unit.rem;
+                env.stats.mp_units[m].busy++;
+                if (unit.rem == 0) {
+                    if (unit.entry.final_entry && w.on_mp_complete)
+                        w.on_mp_complete(unit.entry.node, m);
+                    emit(TraceKind::kMpWork, m, unit.entry.node,
+                         unit.entry_start, cycle);
+                    unit.busy = false;
+                }
+            }
+            if (!popped && !unit.busy)
+                env.stats.mp_units[m].idle++;
+        }
+
+        // 2. Adapter ports: re-batch and multicast.
+        for (std::uint32_t u = 0; u < pn; ++u) {
+            auto &p = port[u];
+            if (!p.active)
+                continue;
+            std::uint32_t pending =
+                p.received - p.emitted_granules * ps;
+            bool node_complete = (p.received >= w.stream_elems);
+            bool can_emit = false;
+            std::uint32_t emit_granules = 0;
+            if (whole_node_handoff) {
+                // Baseline dataflow: one entry per node, only once the
+                // full embedding has arrived.
+                if (node_complete) {
+                    can_emit = true;
+                    emit_granules = p.total_granules;
+                }
+            } else if (pending >= ps || (node_complete && pending > 0)) {
+                can_emit = true;
+                emit_granules = 1;
+            }
+            if (!can_emit)
+                continue;
+
+            // All-or-nothing multicast: every target queue needs room.
+            bool room = true;
+            for (const auto &bw : *p.targets)
+                if (queue_at(u, bw.bank).full())
+                    room = false;
+            if (!room) {
+                env.stats.adapter_stall_cycles++;
+                continue;
+            }
+            std::uint32_t after =
+                p.emitted_granules + emit_granules;
+            QueueEntry entry{p.node, emit_granules,
+                             after >= p.total_granules};
+            for (const auto &bw : *p.targets) {
+                queue_at(u, bw.bank).push(entry);
+                env.stats.queue_total_pushes++;
+            }
+            p.emitted_granules = after;
+            if (p.emitted_granules >= p.total_granules)
+                p.active = false;
+        }
+
+        // 3. NT output streams into the adapter (or directly to the
+        //    node buffer when the phase has no scatter targets).
+        for (std::uint32_t u = 0; u < pn; ++u) {
+            auto &unit = nt[u];
+            if (unit.out_active) {
+                bool delivered = false;
+                if (!w.has_scatter || (*w.banks)[unit.out_node].empty()) {
+                    // Plain write to the node embedding buffer.
+                    unit.out_sent += pa;
+                    delivered = true;
+                } else {
+                    auto &p = port[u];
+                    // Bounded skid buffer in the adapter register; in
+                    // whole-node handoff mode the register models the
+                    // full ping-pong embedding buffer, so any not-yet
+                    // -complete embedding can absorb the next (final
+                    // beat possibly partial) delivery — gating it on
+                    // the granule-mode slack would wedge the pipeline
+                    // whenever Papply does not divide the embedding.
+                    std::uint32_t cap = 2 * std::max(pa, ps);
+                    std::uint32_t buffered =
+                        p.received - p.emitted_granules * ps;
+                    bool room = whole_node_handoff
+                        ? p.received < w.stream_elems
+                        : buffered + pa <= cap + ps;
+                    if (room) {
+                        p.received = std::min<std::uint32_t>(
+                            p.received + pa, w.stream_elems);
+                        unit.out_sent += pa;
+                        delivered = true;
+                    }
+                }
+                if (delivered && unit.out_sent >= w.stream_elems) {
+                    emit(TraceKind::kNtOutput, u, unit.out_node,
+                         unit.out_start, cycle);
+                    unit.out_active = false;
+                }
+            }
+            // Promote a finished node from the pong slot to output,
+            // provided the adapter port is free for a new node.
+            if (!unit.out_active && unit.pong_full) {
+                bool port_free = true;
+                if (w.has_scatter && !(*w.banks)[unit.pong_node].empty())
+                    port_free = !port[u].active;
+                if (port_free && w.stream_elems > 0) {
+                    unit.out_active = true;
+                    unit.out_node = unit.pong_node;
+                    unit.out_sent = 0;
+                    unit.out_start = cycle;
+                    unit.pong_full = false;
+                    if (w.has_scatter &&
+                        !(*w.banks)[unit.out_node].empty()) {
+                        auto &p = port[u];
+                        p.active = true;
+                        p.node = unit.out_node;
+                        p.received = 0;
+                        p.emitted_granules = 0;
+                        p.total_granules = sg_total;
+                        p.targets = &(*w.banks)[unit.out_node];
+                    }
+                } else if (w.stream_elems == 0) {
+                    unit.pong_full = false; // nothing to stream
+                }
+            }
+        }
+
+        // 4. NT accumulate: advance, complete into the pong slot, and
+        //    start the next node when double buffering allows.
+        for (std::uint32_t u = 0; u < pn; ++u) {
+            auto &unit = nt[u];
+            bool was_busy = unit.acc_active || unit.out_active;
+            if (unit.acc_active) {
+                --unit.acc_rem;
+                if (unit.acc_rem == 0) {
+                    if (w.on_nt_complete)
+                        w.on_nt_complete(unit.acc_node);
+                    emit(TraceKind::kNtAccumulate, u, unit.acc_node,
+                         unit.acc_start, cycle);
+                    unit.acc_active = false;
+                    unit.pong_full = true;
+                    unit.pong_node = unit.acc_node;
+                }
+            }
+            if (!unit.acc_active && !unit.pong_full &&
+                unit.next < unit.nodes.size()) {
+                unit.acc_node = unit.nodes[unit.next++];
+                std::uint64_t c = (*w.acc_cycles)[unit.acc_node];
+                if (c == 0) {
+                    // Zero-cost accumulate (the re-stream round of GAT,
+                    // or a ghost node whose embedding arrived over the
+                    // inter-die link): complete immediately into the
+                    // pong slot.
+                    if (w.on_nt_complete)
+                        w.on_nt_complete(unit.acc_node);
+                    unit.pong_full = true;
+                    unit.pong_node = unit.acc_node;
+                } else {
+                    unit.acc_active = true;
+                    unit.acc_rem = c;
+                    unit.acc_start = cycle;
+                }
+            }
+            if (was_busy)
+                env.stats.nt_units[u].busy++;
+            else
+                env.stats.nt_units[u].idle++;
+        }
+    }
+
+    for (const auto &q : queues) {
+        env.stats.queue_peak_occupancy =
+            std::max(env.stats.queue_peak_occupancy, q.peak_occupancy());
+    }
+    return cycle;
+}
+
+/** Per-node NT latency (accumulate + output stream) for the analytic
+ * modes, where accumulate and output do not overlap across nodes. */
+std::uint64_t
+analytic_nt_cycles(const PhaseWork &w, const EngineConfig &cfg, NodeId n)
+{
+    return (*w.acc_cycles)[n] +
+           ceil_div_u64(w.stream_elems, cfg.p_apply);
+}
+
+/** Per-node MP cost on the unit owning `bank` work. */
+std::uint64_t
+analytic_mp_cycles(const PhaseWork &w, const EngineConfig &cfg, NodeId n,
+                   std::uint32_t bank)
+{
+    if (!w.has_scatter)
+        return 0;
+    std::uint64_t sg = ceil_div_u64(w.stream_elems, cfg.p_scatter);
+    return std::uint64_t(bank_edges((*w.banks)[n], bank)) * sg *
+           w.expansion;
+}
+
+/**
+ * Fig. 4(a): no pipelining — NT for all nodes completes before any MP
+ * begins. Units within each phase still run in parallel.
+ */
+std::uint64_t
+analytic_nonpipelined(const PhaseEnv &env)
+{
+    const PhaseWork &w = env.work;
+    const EngineConfig &cfg = env.cfg;
+
+    std::vector<std::uint64_t> nt_unit(cfg.p_node, 0);
+    for (NodeId n = 0; n < w.n_nodes; ++n) {
+        nt_unit[n % cfg.p_node] += analytic_nt_cycles(w, cfg, n);
+        if (w.on_nt_complete)
+            w.on_nt_complete(n);
+    }
+    std::uint64_t nt_phase =
+        *std::max_element(nt_unit.begin(), nt_unit.end());
+
+    std::vector<std::uint64_t> mp_unit(cfg.p_edge, 0);
+    if (w.has_scatter) {
+        for (NodeId n = 0; n < w.n_nodes; ++n) {
+            for (const auto &bw : (*w.banks)[n]) {
+                std::uint64_t c = analytic_mp_cycles(w, cfg, n, bw.bank);
+                mp_unit[bw.bank] += c;
+                env.stats.mp_edge_work[bw.bank] +=
+                    std::uint64_t(bw.edges) *
+                    ceil_div_u64(w.stream_elems, cfg.p_scatter);
+                if (w.on_mp_complete)
+                    w.on_mp_complete(n, bw.bank);
+            }
+        }
+    }
+    std::uint64_t mp_phase =
+        *std::max_element(mp_unit.begin(), mp_unit.end());
+
+    // Utilization accounting: each pool is fully idle during the
+    // other's phase — the waste this mode illustrates.
+    std::uint64_t total = nt_phase + mp_phase;
+    for (std::uint32_t u = 0; u < cfg.p_node; ++u) {
+        env.stats.nt_units[u].busy += nt_unit[u];
+        env.stats.nt_units[u].idle += total - nt_unit[u];
+    }
+    for (std::uint32_t m = 0; m < cfg.p_edge; ++m) {
+        env.stats.mp_units[m].busy += mp_unit[m];
+        env.stats.mp_units[m].idle += total - mp_unit[m];
+    }
+    return total;
+}
+
+/**
+ * Fig. 4(b): fixed pipelining — NT(k+1) runs in lockstep with MP(k);
+ * each step lasts as long as the slower of the pair (modeled with one
+ * NT and one MP stream, the structure the figure depicts).
+ */
+std::uint64_t
+analytic_fixed(const PhaseEnv &env)
+{
+    const PhaseWork &w = env.work;
+    const EngineConfig &cfg = env.cfg;
+
+    auto mp_total = [&](NodeId n) {
+        std::uint64_t c = 0;
+        if (w.has_scatter)
+            for (const auto &bw : (*w.banks)[n])
+                c += analytic_mp_cycles(w, cfg, n, bw.bank);
+        return c;
+    };
+
+    std::uint64_t total = 0;
+    std::uint64_t nt_busy = 0, mp_busy = 0;
+    for (NodeId n = 0; n < w.n_nodes; ++n) {
+        std::uint64_t nt_c = analytic_nt_cycles(w, cfg, n);
+        std::uint64_t mp_c = (n == 0) ? 0 : mp_total(n - 1);
+        total += std::max(nt_c, mp_c);
+        nt_busy += nt_c;
+        mp_busy += mp_c;
+        if (w.on_nt_complete)
+            w.on_nt_complete(n);
+    }
+    if (w.n_nodes > 0)
+        total += mp_total(w.n_nodes - 1);
+
+    if (w.has_scatter) {
+        for (NodeId n = 0; n < w.n_nodes; ++n) {
+            for (const auto &bw : (*w.banks)[n]) {
+                env.stats.mp_edge_work[bw.bank] +=
+                    std::uint64_t(bw.edges) *
+                    ceil_div_u64(w.stream_elems, cfg.p_scatter);
+                if (w.on_mp_complete)
+                    w.on_mp_complete(n, bw.bank);
+            }
+        }
+        mp_busy += mp_total(w.n_nodes - 1);
+    }
+    env.stats.nt_units[0].busy += nt_busy;
+    env.stats.nt_units[0].idle += total - nt_busy;
+    env.stats.mp_units[0].busy += mp_busy;
+    env.stats.mp_units[0].idle += total - mp_busy;
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+run_phase(const PhaseEnv &env)
+{
+    switch (env.cfg.mode) {
+      case PipelineMode::kNonPipelined:
+        return analytic_nonpipelined(env);
+      case PipelineMode::kFixedPipeline:
+        return analytic_fixed(env);
+      case PipelineMode::kBaselineDataflow:
+        return simulate_phase(env, /*whole_node_handoff=*/true);
+      case PipelineMode::kFlowGnn:
+        return simulate_phase(env, /*whole_node_handoff=*/false);
+    }
+    throw std::logic_error("Engine: unknown pipeline mode");
+}
+
+std::vector<StageSchedule>
+build_stage_schedule(const Model &model, const EngineConfig &cfg)
+{
+    const std::size_t n_stages = model.num_stages();
+    std::vector<StageSchedule> out(n_stages);
+    bool prev_was_gat = false;
+    bool have_prev_agg = false;
+    AggregatorKind prev_agg_kind = AggregatorKind::kSum;
+    std::size_t prev_agg_out_dim = 0;
+
+    for (std::size_t si = 0; si < n_stages; ++si) {
+        const Layer &stage = model.stage(si);
+        StageSchedule &s = out[si];
+        s.is_gat = (stage.dataflow() == DataflowKind::kMpToNt);
+        s.stream_elems = static_cast<std::uint32_t>(stage.out_dim());
+
+        if (prev_was_gat)
+            s.prologue_cycles = ceil_div_u64(
+                model.stage(si - 1).out_dim(), cfg.p_apply);
+        if (have_prev_agg && prev_agg_kind != AggregatorKind::kSum)
+            s.finalize_cycles =
+                ceil_div_u64(prev_agg_out_dim, cfg.p_apply);
+        for (std::size_t d : stage.nt_pass_dims())
+            s.nt_pass_cycles += ceil_div_u64(d, cfg.p_apply);
+        s.acc_cycles =
+            s.prologue_cycles + s.finalize_cycles + s.nt_pass_cycles;
+
+        // The scatter fused into this phase: either the next NT-to-MP
+        // conv's message pass, or this GAT stage's own gather rounds.
+        if (s.is_gat) {
+            s.has_scatter = true;
+            s.expansion = 1; // score / weighted sum: 1 cycle/edge/granule
+        } else if (si + 1 < n_stages) {
+            const Layer &next = model.stage(si + 1);
+            if (next.msg_dim() > 0 &&
+                next.dataflow() == DataflowKind::kNtToMp) {
+                s.has_scatter = true;
+                s.expansion = static_cast<std::uint32_t>(
+                    ceil_div_u64(next.msg_dim(), stage.out_dim()));
+            }
+        }
+
+        if (s.is_gat) {
+            prev_was_gat = true;
+            have_prev_agg = false;
+        } else if (s.has_scatter) {
+            const Layer &next = model.stage(si + 1);
+            Aggregator agg = next.aggregator();
+            prev_agg_kind = agg.kind();
+            prev_agg_out_dim = agg.out_dim();
+            have_prev_agg = true;
+            prev_was_gat = false;
+        } else {
+            have_prev_agg = false;
+            prev_was_gat = false;
+        }
+    }
+    return out;
+}
+
+} // namespace flowgnn

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The engine's phase-timing machinery, factored out of Engine so other
+ * executors can drive it. A pipeline phase is described by PhaseWork —
+ * node count, per-node NT accumulate cycles, output stream width, and
+ * the destination-bank split of the scatter — and run_phase() prices
+ * it under any of the four PipelineModes, invoking the caller's
+ * functional callbacks at the microarchitecturally correct moments.
+ *
+ * Engine builds one PhaseWork per stage over the whole graph; the
+ * ghost-exchange executor (src/ghost) builds one per stage per die
+ * with per-node costs that differ between owned nodes (full NT work)
+ * and ghost nodes (zero-cost re-stream of an embedding received over
+ * the inter-die link — the same mechanism the GAT re-stream round
+ * uses). Keeping the timing model in one place is what guarantees a
+ * die of the ghost executor and a die of the halo executor price
+ * identical work identically.
+ *
+ * build_stage_schedule() derives the per-stage cost constants
+ * (accumulate passes, stream width, scatter expansion) from a model +
+ * engine config. Engine and the ghost executor both read their cost
+ * numbers from it, so the two can never drift apart.
+ */
+#ifndef FLOWGNN_CORE_PHASE_MODEL_H
+#define FLOWGNN_CORE_PHASE_MODEL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "nn/model.h"
+
+namespace flowgnn {
+
+inline std::uint64_t
+ceil_div_u64(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Per-node destination-bank workload: (bank id, edges in bank). */
+struct BankWork {
+    std::uint32_t bank;
+    std::uint32_t edges;
+};
+
+/**
+ * Static description of one pipeline phase's work, independent of the
+ * pipeline mode. Functional computation is injected via callbacks so
+ * the same timing machinery serves every phase type.
+ */
+struct PhaseWork {
+    NodeId n_nodes = 0;
+    /** NT accumulate cycles per node (all input-stationary passes);
+     * storage lives in the caller's workspace. */
+    const std::vector<std::uint64_t> *acc_cycles = nullptr;
+    /** Elements streamed out per node (the stage's output dim). */
+    std::uint32_t stream_elems = 0;
+    bool has_scatter = false;
+    /** Extra MP cycles per granule per edge (msg wider than stream). */
+    std::uint32_t expansion = 1;
+    /** Destination-bank split per node (empty if no out-edges). */
+    const std::vector<std::vector<BankWork>> *banks = nullptr;
+    /** Called once when a node's NT accumulate completes. */
+    std::function<void(NodeId)> on_nt_complete;
+    /** Called once per (node, bank) when its MP edge work completes. */
+    std::function<void(NodeId, std::uint32_t)> on_mp_complete;
+};
+
+/** Everything shared by the timing back-ends for one phase. */
+struct PhaseEnv {
+    const PhaseWork &work;
+    const EngineConfig &cfg;
+    const RunOptions &opts;
+    RunStats &stats;
+    std::uint64_t base_cycle = 0; ///< absolute offset for trace events
+};
+
+/**
+ * Prices one phase under env.cfg.mode (cycle-stepped simulation for
+ * the queue-based modes, closed-form for the analytic ones) and
+ * returns its cycle count. env.stats must have nt_units/mp_units/
+ * mp_edge_work sized to the config's p_node/p_edge before the call.
+ */
+std::uint64_t run_phase(const PhaseEnv &env);
+
+/**
+ * The per-stage cost constants of one model on one engine config —
+ * everything about a stage's timing that does not depend on the graph.
+ * Indices mirror Model::stage(i).
+ */
+struct StageSchedule {
+    bool is_gat = false; ///< MP-to-NT attention stage (2 MP rounds)
+    /** The phase runs a scatter: this GAT stage's own gather rounds,
+     * or the next NT-to-MP conv's message pass fused into this phase. */
+    bool has_scatter = false;
+    /** Extra NT pass charged for materializing the previous GAT
+     * stage's combine, in cycles. */
+    std::uint64_t prologue_cycles = 0;
+    /** Aggregate-finalize pass for a non-sum aggregator, in cycles. */
+    std::uint64_t finalize_cycles = 0;
+    /** The stage's own input-stationary FC passes, in cycles. */
+    std::uint64_t nt_pass_cycles = 0;
+    /** Full per-node NT accumulate: prologue + finalize + FC passes. */
+    std::uint64_t acc_cycles = 0;
+    /** Elements streamed out per node (the stage's output dim). */
+    std::uint32_t stream_elems = 0;
+    /** MP cycles per granule per edge (message wider than stream). */
+    std::uint32_t expansion = 1;
+};
+
+/** Derives the per-stage schedule of `model` on `cfg` (see above). */
+std::vector<StageSchedule> build_stage_schedule(const Model &model,
+                                                const EngineConfig &cfg);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_PHASE_MODEL_H

@@ -42,10 +42,16 @@ struct RunStats {
     /** Edge-work items processed per MP unit (workload imbalance). */
     std::vector<std::uint64_t> mp_edge_work;
     std::uint64_t adapter_stall_cycles = 0; ///< multicast backpressure
-    /** Inter-die halo-exchange cycles (zero for single-die runs).
+    /** Inter-die exchange cycles (zero for single-die runs). For halo
+     * runs this is the one-shot pre-run fetch; for ghost-exchange runs
+     * it is the sum over all per-layer exchanges on the worst die.
      * Already included in total_cycles when set, so latency_ms()
      * reports the end-to-end figure. */
     std::uint64_t comm_cycles = 0;
+    /** Ghost-exchange runs only: per-exchange link cycles, maxed over
+     * dies (entry p is the boundary exchange feeding phase p's
+     * scatter). Empty for halo and single-die runs. */
+    std::vector<std::uint64_t> layer_comm_cycles;
     std::size_t queue_peak_occupancy = 0;
     std::uint64_t queue_total_pushes = 0;
     /** Busy intervals per unit (when RunOptions::capture_trace). */
@@ -106,6 +112,22 @@ struct RunStats {
 RunStats compose_shard_stats(const std::vector<RunStats> &shards,
                              const std::vector<std::uint64_t> &comm_cycles,
                              bool overlap_comm = false);
+
+/**
+ * Layered overload for ghost-exchange runs: `per_layer_comm[d][p]` is
+ * die d's link cycles for the boundary exchange feeding its phase p's
+ * scatter. Serial composition charges every exchange in full (chain =
+ * total + sum_p comm[p]); with `overlap_comm` the exchange streams
+ * concurrently with the phase it feeds (ghost contributions arrive as
+ * the scatter consumes them) — modeled by hiding it behind that die's
+ * phase-p compute window, so only max(0, comm[p] - phase_cycles[p])
+ * delays the chain. The composed stats additionally record
+ * RunStats::layer_comm_cycles (per-exchange max over dies).
+ */
+RunStats compose_shard_stats(
+    const std::vector<RunStats> &shards,
+    const std::vector<std::vector<std::uint64_t>> &per_layer_comm,
+    bool overlap_comm = false);
 
 } // namespace flowgnn
 

@@ -1,0 +1,236 @@
+#include "ghost/ghost_engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "core/phase_model.h"
+#include "graph/partition.h"
+
+namespace flowgnn {
+
+namespace {
+
+/**
+ * Prices one die's run: the standard per-stage phase loop over the
+ * die's local subgraph, with per-vertex accumulate costs split between
+ * owned vertices (full NT work from the shared schedule) and ghosts
+ * (zero — their embedding arrived over the link and is only
+ * re-streamed into the scatter; GAT ghosts pay the local projection).
+ * Callbacks are null: timing is structural, the functional answer is
+ * computed once globally by the caller.
+ */
+RunStats
+price_ghost_die(const GhostShard &shard,
+                const std::vector<StageSchedule> &schedule,
+                const Model &model, const EngineConfig &cfg,
+                const RunOptions &opts, std::size_t node_dim,
+                std::size_t edge_dim)
+{
+    const NodeId n_locals = shard.local_graph.num_nodes;
+    const NodeId n_owned =
+        static_cast<NodeId>(shard.info.owned_nodes);
+    const std::uint64_t n_ghosts = shard.info.halo_nodes;
+
+    RunStats stats;
+    stats.clock_mhz = cfg.clock_mhz;
+    stats.nt_units.assign(cfg.p_node, {});
+    stats.mp_units.assign(cfg.p_edge, {});
+    stats.mp_edge_work.assign(cfg.p_edge, 0);
+
+    // Input DMA: the die loads only its owned vertices' records and
+    // its local edges; ghost slots cost one id word each (their
+    // payload arrives over the link, priced separately).
+    stats.load_cycles = ceil_div_u64(
+        std::uint64_t(n_owned) * (node_dim + 1) +
+            std::uint64_t(shard.local_graph.edges.size()) *
+                (edge_dim + 2) +
+            n_ghosts,
+        64);
+
+    // Destination-bank split over the local subgraph, mirroring the
+    // engine's policy choice on local ids.
+    std::vector<std::uint32_t> bank_of;
+    if (cfg.bank_policy == BankPolicy::kGreedyBalanced) {
+        bank_of = balanced_bank_assignment(shard.local_graph,
+                                           cfg.p_edge);
+    } else {
+        bank_of.resize(n_locals);
+        for (NodeId v = 0; v < n_locals; ++v)
+            bank_of[v] = v % cfg.p_edge;
+    }
+    const CsrGraph csr(shard.local_graph);
+    std::vector<std::vector<BankWork>> banks(n_locals);
+    {
+        std::vector<std::uint32_t> count(cfg.p_edge, 0);
+        for (NodeId v = 0; v < n_locals; ++v) {
+            std::fill(count.begin(), count.end(), 0);
+            for (std::size_t s = csr.row_begin(v); s < csr.row_end(v);
+                 ++s)
+                ++count[bank_of[csr.dst(s)]];
+            for (std::uint32_t b = 0; b < cfg.p_edge; ++b)
+                if (count[b] > 0)
+                    banks[v].push_back({b, count[b]});
+        }
+    }
+
+    std::vector<std::uint64_t> acc;
+    std::vector<std::uint64_t> acc_zero;
+    std::uint64_t phase_base = 0;
+    for (const StageSchedule &sched : schedule) {
+        PhaseWork w;
+        w.stream_elems = sched.stream_elems;
+        w.has_scatter = sched.has_scatter;
+        w.expansion = sched.expansion;
+        if (sched.has_scatter) {
+            // Exchange-fed phase: ghosts participate in the scatter.
+            w.n_nodes = n_locals;
+            w.banks = &banks;
+            acc.resize(n_locals);
+            const std::uint64_t ghost_acc =
+                sched.is_gat ? sched.nt_pass_cycles : 0;
+            for (NodeId v = 0; v < n_locals; ++v)
+                acc[v] =
+                    shard.is_owned[v] ? sched.acc_cycles : ghost_acc;
+        } else {
+            // Node-local stage: ghosts take no part at all.
+            w.n_nodes = n_owned;
+            acc.assign(n_owned, sched.acc_cycles);
+        }
+        w.acc_cycles = &acc;
+
+        PhaseEnv env{w, cfg, opts, stats, phase_base};
+        std::uint64_t cycles = run_phase(env);
+        if (sched.is_gat) {
+            // Round 2: zero-cost re-stream for the weighted sum,
+            // exactly as in the engine.
+            PhaseWork w2 = w;
+            acc_zero.assign(w.n_nodes, 0);
+            w2.acc_cycles = &acc_zero;
+            PhaseEnv env2{w2, cfg, opts, stats, phase_base + cycles};
+            cycles += run_phase(env2);
+        }
+        phase_base += cycles;
+        stats.phase_cycles.push_back(cycles);
+        stats.total_cycles += cycles;
+    }
+
+    // Epilogue: final GAT combine over owned vertices only.
+    if (!schedule.empty() && schedule.back().is_gat) {
+        const std::size_t last = model.num_stages() - 1;
+        std::uint64_t epi =
+            ceil_div_u64(n_owned, cfg.p_node) *
+            ceil_div_u64(model.stage(last).out_dim(), cfg.p_apply);
+        stats.phase_cycles.push_back(epi);
+        stats.total_cycles += epi;
+    }
+
+    std::uint64_t head_cycles = 0;
+    for (std::size_t l = 0; l < model.head().num_layers(); ++l)
+        head_cycles +=
+            ceil_div_u64(model.head().layer(l).in_dim(), cfg.p_apply);
+    stats.head_cycles = head_cycles;
+    stats.total_cycles += head_cycles + stats.load_cycles;
+    return stats;
+}
+
+} // namespace
+
+ShardedRunResult
+run_ghost_plan(const Model &model, const EngineConfig &config,
+               const GraphSample &prepared, GhostPlan &&plan,
+               const RunOptions &opts, const LinkConfig &link)
+{
+    ShardedRunResult out;
+
+    if (!plan.sharded) {
+        Engine engine(model, config);
+        RunWorkspace ws;
+        RunResult r = engine.run_prepared(prepared, opts, ws);
+        out.embeddings = std::move(r.embeddings);
+        out.prediction = r.prediction;
+        GhostShard &shard = plan.shards.front();
+        shard.info.stats = r.stats;
+        out.shards.push_back(std::move(shard.info));
+        out.stats = std::move(r.stats);
+        return out;
+    }
+
+    // ---- Global functional pass, src-major order ----
+    // Timing is structural, so the values are computed once over the
+    // whole graph. The non-pipelined analytic mode runs the functional
+    // callbacks in src-major order at O(V + E) per stage — the same
+    // order a single-NT-unit die sees, which is what makes ghost runs
+    // bit-identical to unsharded single-NT runs (and keeps the result
+    // invariant in the shard count). Quantization points are the
+    // engine's own, and since its quantizer is idempotent, the
+    // re-quantization at every boundary crossing is value-preserving.
+    EngineConfig func_cfg = config;
+    func_cfg.mode = PipelineMode::kNonPipelined;
+    RunWorkspace func_ws;
+    RunResult func =
+        Engine(model, func_cfg).run_prepared(prepared, opts, func_ws);
+    out.embeddings = std::move(func.embeddings);
+    out.prediction = func.prediction;
+
+    // ---- Per-die timing, one thread per die ----
+    const std::vector<StageSchedule> schedule =
+        build_stage_schedule(model, config);
+    const std::size_t node_dim = prepared.node_dim();
+    const std::size_t edge_dim = prepared.edge_dim();
+    std::vector<RunStats> per_die(plan.shards.size());
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(plan.shards.size());
+        for (std::size_t t = 0; t < plan.shards.size(); ++t) {
+            threads.emplace_back([&, t] {
+                per_die[t] =
+                    price_ghost_die(plan.shards[t], schedule, model,
+                                    config, opts, node_dim, edge_dim);
+            });
+        }
+        for (std::thread &th : threads)
+            th.join();
+    }
+
+    // ---- Compose: per-layer exchanges against per-phase windows ----
+    std::vector<std::vector<std::uint64_t>> per_layer_comm;
+    per_layer_comm.reserve(plan.shards.size());
+    for (std::size_t t = 0; t < plan.shards.size(); ++t) {
+        GhostShard &shard = plan.shards[t];
+        shard.info.stats = per_die[t];
+        per_layer_comm.push_back(std::move(shard.layer_comm_cycles));
+        out.shards.push_back(std::move(shard.info));
+    }
+    out.stats =
+        compose_shard_stats(per_die, per_layer_comm, link.overlap);
+    out.cut_edges = plan.cut_edges;
+    out.replication_factor = plan.replication_factor;
+    return out;
+}
+
+GhostExchangeEngine::GhostExchangeEngine(const Model &model,
+                                         EngineConfig config,
+                                         ShardConfig shard_config)
+    : model_(model), config_(config), shard_config_(shard_config)
+{
+    config_.validate();
+    shard_config_.validate();
+}
+
+ShardedRunResult
+GhostExchangeEngine::run(const GraphSample &sample) const
+{
+    return run(sample, RunOptions{});
+}
+
+ShardedRunResult
+GhostExchangeEngine::run(const GraphSample &sample,
+                         const RunOptions &opts) const
+{
+    GraphSample prepared = model_.prepare(sample);
+    GhostPlan plan = make_ghost_plan(model_, prepared, shard_config_);
+    return run_ghost_plan(model_, config_, prepared, std::move(plan),
+                          opts, shard_config_.link);
+}
+
+} // namespace flowgnn

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Execution of a GhostPlan: per-die timing through the shared phase
+ * model (src/core/phase_model.h) plus one global functional pass.
+ *
+ * The engine's timing is purely structural — cycle counts depend on
+ * graph shape and layer dims, never on embedding values — so a ghost
+ * run splits cleanly: each die prices its phases over its local
+ * subgraph (owned vertices pay full NT work; ghost vertices re-stream
+ * their received embeddings at zero accumulate cost, GAT ghosts pay
+ * the local projection), while the functional answer is computed once
+ * globally in src-major order. Src-major is exactly the arrival order
+ * of a single-NT-unit die, so ghost results are bit-identical to
+ * unsharded single-NT runs and within float-reassociation tolerance
+ * of multi-NT ones — the same exactness contract the halo mode has.
+ *
+ * Per-layer exchange cycles compose through the layered
+ * compose_shard_stats overload: serial by default, or hidden behind
+ * each phase's compute window under LinkConfig::overlap.
+ */
+#ifndef FLOWGNN_GHOST_GHOST_ENGINE_H
+#define FLOWGNN_GHOST_GHOST_ENGINE_H
+
+#include "ghost/ghost_plan.h"
+
+namespace flowgnn {
+
+/**
+ * Runs a ghost plan: P concurrent per-die timing passes + one global
+ * functional pass, composed into the same ShardedRunResult shape the
+ * halo path produces. Non-sharded plans (fallbacks) run the plain
+ * engine. `link` prices nothing here — the plan already did — but its
+ * `overlap` flag picks the comm/compute composition.
+ */
+ShardedRunResult run_ghost_plan(const Model &model,
+                                const EngineConfig &config,
+                                const GraphSample &prepared,
+                                GhostPlan &&plan, const RunOptions &opts,
+                                const LinkConfig &link);
+
+/**
+ * Drop-in counterpart of ShardedEngine for ghost mode; ShardedEngine
+ * itself routes here when ShardConfig::mode == kGhostExchange, so most
+ * callers never name this class.
+ */
+class GhostExchangeEngine {
+  public:
+    GhostExchangeEngine(const Model &model, EngineConfig config,
+                        ShardConfig shard_config);
+
+    ShardedRunResult run(const GraphSample &sample) const;
+    ShardedRunResult run(const GraphSample &sample,
+                         const RunOptions &opts) const;
+
+  private:
+    const Model &model_;
+    EngineConfig config_;
+    ShardConfig shard_config_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_GHOST_GHOST_ENGINE_H

@@ -1,0 +1,208 @@
+#include "ghost/ghost_plan.h"
+
+#include <algorithm>
+
+namespace flowgnn {
+
+namespace {
+
+std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+GhostPlan
+make_ghost_plan(const Model &model, const GraphSample &prepared,
+                const ShardConfig &config)
+{
+    config.validate();
+    const NodeId n_nodes = prepared.num_nodes();
+    const std::uint32_t P = config.num_shards;
+
+    GhostPlan plan;
+
+    // Same fallbacks as make_shard_plan: these jobs run whole on one
+    // die (the virtual node makes every vertex a boundary vertex, so
+    // ghost exchange would ship the entire graph every layer).
+    if (P == 1 || model.uses_virtual_node() || n_nodes == 0) {
+        GhostShard shard;
+        shard.info.owned_nodes = n_nodes;
+        shard.info.subgraph_edges = prepared.num_edges();
+        // Whole-graph resident footprint (matches the halo fallback).
+        std::size_t whole_dim = prepared.node_dim();
+        for (std::size_t i = 0; i < model.num_stages(); ++i)
+            whole_dim = std::max(whole_dim, model.stage(i).out_dim());
+        shard.info.resident_words =
+            std::uint64_t(n_nodes) *
+                (prepared.node_dim() + 3 +
+                 !prepared.dgn_field.empty() + 2 * whole_dim) +
+            std::uint64_t(prepared.num_edges()) *
+                (prepared.edge_dim() + 2);
+        plan.shards.push_back(std::move(shard));
+        return plan;
+    }
+
+    plan.sharded = true;
+    plan.assignment = shard_plan_assignment(prepared.graph, config);
+    const std::vector<std::uint32_t> &owner = plan.assignment;
+
+    const std::size_t node_dim = prepared.node_dim();
+    const std::size_t edge_dim = prepared.edge_dim();
+    const bool has_dgn = !prepared.dgn_field.empty();
+    // Ghost bootstrap metadata: id + two true degrees (+ DGN scalar).
+    const std::uint64_t meta_words = 3 + has_dgn;
+
+    // ---- Which stages exchange, and how many words per ghost ----
+    const std::size_t n_stages = model.num_stages();
+    plan.exchange_at_stage.assign(n_stages, 0);
+    plan.exchange_dim.assign(n_stages, 0);
+    for (std::size_t si = 0; si < n_stages; ++si) {
+        const Layer &stage = model.stage(si);
+        const bool is_gat = (stage.dataflow() == DataflowKind::kMpToNt);
+        bool has_scatter = is_gat;
+        if (!is_gat && si + 1 < n_stages) {
+            const Layer &next = model.stage(si + 1);
+            has_scatter = next.msg_dim() > 0 &&
+                          next.dataflow() == DataflowKind::kNtToMp;
+        }
+        if (has_scatter) {
+            plan.exchange_at_stage[si] = 1;
+            // Conv scatter ships the stage's post-transform output
+            // (the ghost re-streams it); a GAT stage ships its input
+            // and the ghost projects locally (see ghost_plan.h).
+            plan.exchange_dim[si] = static_cast<std::uint32_t>(
+                is_gat ? stage.in_dim() : stage.out_dim());
+        }
+    }
+    std::uint32_t max_exchange_dim = 0;
+    for (std::uint32_t d : plan.exchange_dim)
+        max_exchange_dim = std::max(max_exchange_dim, d);
+
+    // Widest embedding any stage materializes (resident sizing).
+    std::size_t max_dim = node_dim;
+    for (std::size_t i = 0; i < n_stages; ++i)
+        max_dim = std::max(max_dim, model.stage(i).out_dim());
+
+    // ---- Ghost membership: one edge scan + a node x die bitmap ----
+    // ghost_flag[v * P + d] = vertex v is in die d's ghost set.
+    std::vector<std::uint8_t> ghost_flag(std::size_t(n_nodes) * P, 0);
+    for (const Edge &e : prepared.graph.edges) {
+        const std::uint32_t ds = owner[e.src];
+        const std::uint32_t dd = owner[e.dst];
+        if (ds != dd)
+            ghost_flag[std::size_t(e.src) * P + dd] = 1;
+    }
+
+    // multiplicity[v] = how many foreign dies hold v as a ghost — the
+    // per-layer send fan-out of v's owner.
+    std::vector<std::uint32_t> owned_count(P, 0);
+    std::vector<std::uint64_t> send_mult(P, 0);
+    for (NodeId v = 0; v < n_nodes; ++v) {
+        ++owned_count[owner[v]];
+        std::uint32_t mult = 0;
+        for (std::uint32_t d = 0; d < P; ++d)
+            mult += ghost_flag[std::size_t(v) * P + d];
+        send_mult[owner[v]] += mult;
+    }
+
+    plan.cut_edges = shard_cut_edges(prepared.graph, plan.assignment);
+
+    // ---- Build the per-die shards (dies owning nothing are dropped,
+    // mirroring make_shard_plan's effective-P contract) ----
+    std::vector<std::uint32_t> slot_of(P, 0xFFFFFFFFu);
+    std::size_t locals_total = 0;
+    for (std::uint32_t d = 0; d < P; ++d) {
+        if (owned_count[d] == 0)
+            continue; // n < P degenerate die: owns nothing, no ghosts
+        slot_of[d] = static_cast<std::uint32_t>(plan.shards.size());
+        GhostShard shard;
+        shard.info.shard = d;
+        for (NodeId v = 0; v < n_nodes; ++v) {
+            const bool own = owner[v] == d;
+            if (own || ghost_flag[std::size_t(v) * P + d]) {
+                shard.locals.push_back(v);
+                shard.is_owned.push_back(own);
+            }
+        }
+        shard.info.owned_nodes = owned_count[d];
+        shard.info.halo_nodes =
+            shard.locals.size() - shard.info.owned_nodes;
+        shard.local_graph.num_nodes =
+            static_cast<NodeId>(shard.locals.size());
+        locals_total += shard.locals.size();
+        plan.shards.push_back(std::move(shard));
+    }
+
+    // Local-id maps for every die at once, so the edge scan below is a
+    // single pass whatever P is.
+    std::vector<std::vector<std::uint32_t>> local_of(plan.shards.size());
+    for (std::size_t t = 0; t < plan.shards.size(); ++t) {
+        local_of[t].assign(n_nodes, 0);
+        const GhostShard &shard = plan.shards[t];
+        for (std::uint32_t i = 0; i < shard.locals.size(); ++i)
+            local_of[t][shard.locals[i]] = i;
+    }
+
+    // ---- Local graphs: every edge lands on its destination's owner,
+    // in global edge order (preserves per-row CSR order, hence the
+    // engine's arrival order, on every die). ----
+    for (const Edge &e : prepared.graph.edges) {
+        const std::uint32_t t = slot_of[owner[e.dst]];
+        GhostShard &shard = plan.shards[t];
+        shard.local_graph.edges.push_back(
+            {local_of[t][e.src], local_of[t][e.dst]});
+        shard.info.fetched_edges += owner[e.src] != owner[e.dst];
+    }
+
+    // ---- Word counts, per-exchange link cycles, resident footprint --
+    const std::uint64_t node_rec = node_dim + 3 + has_dgn;
+    const std::uint64_t edge_rec = edge_dim + 2;
+    for (GhostShard &shard : plan.shards) {
+        shard.info.subgraph_edges = shard.local_graph.edges.size();
+        const std::uint64_t ghosts = shard.info.halo_nodes;
+        const std::uint64_t fan_out = send_mult[shard.info.shard];
+        shard.layer_comm_cycles.assign(n_stages, 0);
+        bool first_exchange = true;
+        for (std::size_t si = 0; si < n_stages; ++si) {
+            if (!plan.exchange_at_stage[si])
+                continue;
+            std::uint64_t send = fan_out * plan.exchange_dim[si];
+            std::uint64_t recv = ghosts * plan.exchange_dim[si];
+            if (first_exchange) {
+                // Bootstrap metadata rides the first exchange.
+                send += fan_out * meta_words;
+                recv += ghosts * meta_words;
+                first_exchange = false;
+            }
+            shard.info.exchange_send_words += send;
+            shard.info.exchange_recv_words += recv;
+            if (send == 0 && recv == 0)
+                continue; // no boundary traffic on this die
+            // Full-duplex link: the exchange lasts as long as the
+            // longer of the two streams, plus the fixed latency.
+            shard.layer_comm_cycles[si] =
+                ceil_div(std::max(send, recv),
+                         config.link.words_per_cycle) +
+                config.link.latency_cycles;
+            shard.info.comm_cycles += shard.layer_comm_cycles[si];
+        }
+        // Resident: owned vertices keep full node records plus the
+        // double-buffered embedding store; ghosts keep only their
+        // metadata and the currently-received embedding; plus every
+        // local edge record.
+        shard.info.resident_words =
+            std::uint64_t(shard.info.owned_nodes) *
+                (node_rec + 2 * max_dim) +
+            ghosts * (meta_words + max_exchange_dim) +
+            std::uint64_t(shard.info.subgraph_edges) * edge_rec;
+    }
+
+    plan.replication_factor = static_cast<double>(locals_total) /
+                              static_cast<double>(n_nodes);
+    return plan;
+}
+
+} // namespace flowgnn

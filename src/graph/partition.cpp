@@ -193,6 +193,24 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
     throw std::invalid_argument("shard_assignment: unknown strategy");
 }
 
+std::vector<std::uint32_t>
+shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
+                 ShardStrategy strategy,
+                 const std::vector<std::uint32_t> &prior)
+{
+    switch (strategy) {
+      case ShardStrategy::kLdg:
+        return ldg_partition(graph, num_shards, {}, &prior);
+      case ShardStrategy::kFennel:
+        return fennel_partition(graph, num_shards, {}, &prior);
+      case ShardStrategy::kHdrf:
+        return hdrf_partition(graph, num_shards, {}, &prior);
+      default:
+        // Non-streaming strategies are prior-free by construction.
+        return shard_assignment(graph, num_shards, strategy);
+    }
+}
+
 std::size_t
 shard_cut_edges(const CooGraph &graph,
                 const std::vector<std::uint32_t> &assignment)

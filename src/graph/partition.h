@@ -130,6 +130,19 @@ std::vector<std::uint32_t> shard_assignment(const CooGraph &graph,
                                             std::uint32_t num_shards,
                                             ShardStrategy strategy);
 
+/**
+ * Restreaming overload (Nishimura & Ugander): re-runs the streaming
+ * strategies (kLdg/kFennel/kHdrf) with `prior` — a previous pass's
+ * assignment — feeding the scores of not-yet-re-placed neighbors, so
+ * every vertex is scored against its full neighborhood. Non-streaming
+ * strategies are unaffected by the prior and return the same
+ * assignment as the prior-free overload.
+ */
+std::vector<std::uint32_t>
+shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
+                 ShardStrategy strategy,
+                 const std::vector<std::uint32_t> &prior);
+
 /** Number of edges whose endpoints live on different shards. */
 std::size_t shard_cut_edges(const CooGraph &graph,
                             const std::vector<std::uint32_t> &assignment);

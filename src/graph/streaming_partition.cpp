@@ -79,7 +79,8 @@ constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
  */
 std::vector<std::uint32_t>
 stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
-                 const StreamingPartitionConfig &config, StreamKind kind)
+                 const StreamingPartitionConfig &config, StreamKind kind,
+                 const std::vector<std::uint32_t> *prior)
 {
     if (num_partitions == 0)
         throw std::invalid_argument(
@@ -89,6 +90,9 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
             "stream_partition: balance_slack must be >= 1");
 
     const NodeId n = graph.num_nodes;
+    if (prior != nullptr && prior->size() != n)
+        throw std::invalid_argument(
+            "stream_partition: prior assignment size mismatch");
     std::vector<std::uint32_t> assignment(n, 0);
     if (n == 0 || num_partitions == 1)
         return assignment;
@@ -120,9 +124,13 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
         const double dv = adj.degree(v);
         for (std::size_t i = adj.row_begin(v); i < adj.row_end(v);
              ++i) {
-            const std::uint32_t p = assignment[adj.nbr[i]];
-            if (p == kUnassigned)
-                continue; // not yet streamed
+            std::uint32_t p = assignment[adj.nbr[i]];
+            // Restreaming: a neighbor not yet re-placed this pass
+            // contributes its prior-pass partition instead of nothing.
+            if (p == kUnassigned && prior != nullptr)
+                p = (*prior)[adj.nbr[i]];
+            if (p == kUnassigned || p >= P)
+                continue; // not yet streamed (cold pass)
             if (pull[p] == 0.0)
                 touched.push_back(p);
             if (kind == StreamKind::kHdrf) {
@@ -186,26 +194,29 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
 
 std::vector<std::uint32_t>
 ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
-              const StreamingPartitionConfig &config)
+              const StreamingPartitionConfig &config,
+              const std::vector<std::uint32_t> *prior)
 {
     return stream_partition(graph, num_partitions, config,
-                            StreamKind::kLdg);
+                            StreamKind::kLdg, prior);
 }
 
 std::vector<std::uint32_t>
 fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
-                 const StreamingPartitionConfig &config)
+                 const StreamingPartitionConfig &config,
+                 const std::vector<std::uint32_t> *prior)
 {
     return stream_partition(graph, num_partitions, config,
-                            StreamKind::kFennel);
+                            StreamKind::kFennel, prior);
 }
 
 std::vector<std::uint32_t>
 hdrf_partition(const CooGraph &graph, std::uint32_t num_partitions,
-               const StreamingPartitionConfig &config)
+               const StreamingPartitionConfig &config,
+               const std::vector<std::uint32_t> *prior)
 {
     return stream_partition(graph, num_partitions, config,
-                            StreamKind::kHdrf);
+                            StreamKind::kHdrf, prior);
 }
 
 } // namespace flowgnn

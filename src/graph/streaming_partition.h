@@ -28,6 +28,15 @@
  * at tiny n) some partitions may end up owning nothing — downstream,
  * make_shard_plan drops such empty shards and plan.slices.size()
  * becomes the effective P (see shard/shard_plan.h).
+ *
+ * Restreaming (Nishimura & Ugander): each partitioner accepts an
+ * optional `prior` assignment from an earlier pass. While streaming,
+ * a neighbor not yet re-placed in the current pass contributes its
+ * prior partition to the scores — so every vertex sees its *full*
+ * neighborhood instead of only the prefix streamed before it, and a
+ * handful of passes over the same stream order monotonically shrink
+ * the cut in practice. Loads and capacities count current-pass
+ * placements only, exactly as in a cold pass.
  */
 #ifndef FLOWGNN_GRAPH_STREAMING_PARTITION_H
 #define FLOWGNN_GRAPH_STREAMING_PARTITION_H
@@ -106,7 +115,8 @@ struct StreamingPartitionConfig {
  */
 std::vector<std::uint32_t>
 ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
-              const StreamingPartitionConfig &config = {});
+              const StreamingPartitionConfig &config = {},
+              const std::vector<std::uint32_t> *prior = nullptr);
 
 /**
  * Fennel (Tsourakakis et al.): place v on the partition maximizing
@@ -120,7 +130,8 @@ ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
  */
 std::vector<std::uint32_t>
 fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
-                 const StreamingPartitionConfig &config = {});
+                 const StreamingPartitionConfig &config = {},
+                 const std::vector<std::uint32_t> *prior = nullptr);
 
 /**
  * Degree-aware greedy in the spirit of HDRF (Petroni et al.). HDRF is
@@ -136,7 +147,8 @@ fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
  */
 std::vector<std::uint32_t>
 hdrf_partition(const CooGraph &graph, std::uint32_t num_partitions,
-               const StreamingPartitionConfig &config = {});
+               const StreamingPartitionConfig &config = {},
+               const std::vector<std::uint32_t> *prior = nullptr);
 
 } // namespace flowgnn
 

@@ -12,6 +12,7 @@
 #define FLOWGNN_PERF_ENERGY_H
 
 #include <cstdint>
+#include <vector>
 
 namespace flowgnn {
 
@@ -40,7 +41,15 @@ double graphs_per_kj(Platform platform, double latency_ms);
  * write beyond what a single die would hold.
  */
 struct MultiDieEnergy {
-    double compute_mj = 0.0; ///< dies x FPGA power x makespan
+    double compute_mj = 0.0; ///< busy_mj + idle_mj
+    /** Active-draw share: each die at full platform power for the
+     * wall time it actually computes. Equals compute_mj when no
+     * per-die busy times are supplied. */
+    double busy_mj = 0.0;
+    /** Static-draw share: dies that finished early (or never got a
+     * slice) still burn leakage + clock-tree power until the merge
+     * barrier releases the chassis. */
+    double idle_mj = 0.0;
     double link_mj = 0.0;    ///< halo traffic over the serial links
     double halo_mj = 0.0;    ///< replicated (ghost) feature storage
     double total_mj = 0.0;
@@ -56,12 +65,26 @@ struct MultiDieEnergy {
  *                           closures (>= 1)
  * @param graph_nodes        nodes in the full graph
  * @param node_dim           feature width (words per node)
+ * @param die_busy_ms        optional per-die busy wall time; a die is
+ *                           charged full platform power while busy and
+ *                           only static power for the rest of the
+ *                           makespan. Entries are clamped to the
+ *                           makespan; dies beyond the list (and the
+ *                           default empty list's behaviour for none)
+ *                           are fully idle. Pass empty to keep the
+ *                           historical model: every die at full power
+ *                           for the whole makespan.
  */
 MultiDieEnergy multi_die_energy(std::uint32_t dies, double latency_ms,
                                 std::uint64_t link_words,
                                 double replication_factor,
                                 std::size_t graph_nodes,
-                                std::size_t node_dim);
+                                std::size_t node_dim,
+                                const std::vector<double> &die_busy_ms = {});
+
+/** Static (idle) power draw of one FPGA die, in watts — leakage plus
+ * the always-on clock/SLR infrastructure, ~1/3 of the active draw. */
+double platform_idle_power_w(Platform platform);
 
 } // namespace flowgnn
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/telemetry.h"
+#include "ghost/ghost_engine.h"
 
 namespace flowgnn {
 
@@ -36,6 +37,13 @@ struct PoolScheduler::Job {
     Deliver deliver = Deliver::kRun;
     int priority = 0;
     GraphSample prepared;
+    /** Ghost-mode job: layers are exchange-synchronous, so the slices
+     * cannot be scheduled independently. The job is one indivisible
+     * task — run_ghost_plan threads its modeled dies internally — and
+     * occupies one host die for its duration. */
+    bool ghost = false;
+    GhostPlan ghost_plan;
+    ShardedRunResult ghost_result;
     ShardPlan plan;
     LinkConfig link{};
     RunOptions opts;
@@ -191,11 +199,17 @@ PoolScheduler::die_loop(std::size_t die)
         std::exception_ptr error;
         try {
             Engine &engine = pool_.engine(die);
-            RunWorkspace &ws = pool_.workspace(die);
-            result = job.plan.sharded
-                ? engine.run_prepared(job.plan.slices[d.task].sub,
-                                      job.opts, ws)
-                : engine.run_prepared(job.prepared, job.opts, ws);
+            if (job.ghost) {
+                job.ghost_result = run_ghost_plan(
+                    model_, engine.config(), job.prepared,
+                    std::move(job.ghost_plan), job.opts, job.link);
+            } else {
+                RunWorkspace &ws = pool_.workspace(die);
+                result = job.plan.sharded
+                    ? engine.run_prepared(job.plan.slices[d.task].sub,
+                                          job.opts, ws)
+                    : engine.run_prepared(job.prepared, job.opts, ws);
+            }
         } catch (...) {
             ok = false;
             error = std::current_exception();
@@ -227,10 +241,12 @@ PoolScheduler::finalize(const JobPtr &jobp)
     ShardedRunResult merged;
     if (ok) {
         try {
-            merged = merge_shard_results(model_, job.prepared,
-                                         std::move(job.plan),
-                                         std::move(job.results),
-                                         job.link);
+            merged = job.ghost
+                ? std::move(job.ghost_result)
+                : merge_shard_results(model_, job.prepared,
+                                      std::move(job.plan),
+                                      std::move(job.results),
+                                      job.link);
         } catch (...) {
             ok = false;
             job.error = std::current_exception();
@@ -375,8 +391,14 @@ PoolScheduler::make_sharded_job(GraphSample sample,
     job->prepared = model_.prepare(sample);
     if (!job->prepared.consistent())
         throw std::invalid_argument("PoolScheduler: inconsistent sample");
-    job->plan = make_shard_plan(model_, job->prepared, clamped);
-    job->results.resize(job->plan.slices.size());
+    if (clamped.mode == ShardMode::kGhostExchange) {
+        job->ghost = true;
+        job->ghost_plan = make_ghost_plan(model_, job->prepared, clamped);
+        job->results.resize(1); // one indivisible task
+    } else {
+        job->plan = make_shard_plan(model_, job->prepared, clamped);
+        job->results.resize(job->plan.slices.size());
+    }
     return job;
 }
 

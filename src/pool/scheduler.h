@@ -164,6 +164,9 @@ class PoolScheduler
      * never be wider than the pool) and its tasks dispatch per the
      * pool policy. The future carries the merged ShardedRunResult —
      * identical to ShardedEngine::run with the same clamped config.
+     * Ghost-mode jobs (ShardMode::kGhostExchange) are layer-synchronous
+     * and schedule as one indivisible task on one host die; the ghost
+     * executor models its P dies internally.
      */
     std::future<ShardedRunResult> submit_sharded(GraphSample sample,
                                                  const ShardConfig &shard,

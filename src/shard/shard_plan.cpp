@@ -1,5 +1,6 @@
 #include "shard/shard_plan.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace flowgnn {
@@ -15,6 +16,37 @@ ceil_div(std::uint64_t a, std::uint64_t b)
 constexpr std::uint32_t kNotLocal = 0xFFFFFFFFu;
 
 } // namespace
+
+const char *
+shard_mode_name(ShardMode mode)
+{
+    switch (mode) {
+      case ShardMode::kHaloReplication:
+        return "halo";
+      case ShardMode::kGhostExchange:
+        return "ghost";
+    }
+    return "?";
+}
+
+std::vector<std::uint32_t>
+shard_plan_assignment(const CooGraph &graph, const ShardConfig &config)
+{
+    std::vector<std::uint32_t> assignment =
+        shard_assignment(graph, config.num_shards, config.strategy);
+    // Restreaming refinement (Nishimura & Ugander): re-run the stream
+    // with the previous pass as prior. Non-streaming strategies are
+    // deterministic in the prior-free sense and return unchanged
+    // assignments, so the loop is a no-op for them.
+    for (std::uint32_t pass = 0; pass < config.restream_passes; ++pass) {
+        std::vector<std::uint32_t> next = shard_assignment(
+            graph, config.num_shards, config.strategy, assignment);
+        if (next == assignment)
+            break; // converged
+        assignment = std::move(next);
+    }
+    return assignment;
+}
 
 std::uint32_t
 message_hops(const Model &model)
@@ -47,18 +79,34 @@ make_shard_plan(const Model &model, const GraphSample &prepared,
         ShardSlice slice;
         slice.info.owned_nodes = n_nodes;
         slice.info.subgraph_edges = prepared.num_edges();
+        // Whole-graph resident footprint, same record shapes as the
+        // sharded path so P=1 rows are comparable in benches.
+        std::size_t whole_dim = prepared.node_dim();
+        for (std::size_t i = 0; i < model.num_stages(); ++i)
+            whole_dim = std::max(whole_dim, model.stage(i).out_dim());
+        slice.info.resident_words =
+            std::uint64_t(n_nodes) *
+                (prepared.node_dim() + 3 +
+                 !prepared.dgn_field.empty() + 2 * whole_dim) +
+            std::uint64_t(prepared.num_edges()) *
+                (prepared.edge_dim() + 2);
         plan.slices.push_back(std::move(slice));
         return plan;
     }
 
     plan.sharded = true;
-    plan.assignment =
-        shard_assignment(prepared.graph, num_shards, config.strategy);
+    plan.assignment = shard_plan_assignment(prepared.graph, config);
     plan.hops = message_hops(model);
     const CscGraph csc(prepared.graph);
 
     const std::size_t node_dim = prepared.node_dim();
     const std::size_t edge_dim = prepared.edge_dim();
+
+    // Widest embedding any stage materializes: sizes the double-
+    // buffered per-node embedding store in the resident footprint.
+    std::size_t max_dim = node_dim;
+    for (std::size_t i = 0; i < model.num_stages(); ++i)
+        max_dim = std::max(max_dim, model.stage(i).out_dim());
 
     // Full-graph degrees ship with every replicated node: a halo
     // node's local edge list is incomplete, and degree-normalized
@@ -144,6 +192,14 @@ make_shard_plan(const Model &model, const GraphSample &prepared,
                 ceil_div(slice.info.halo_words,
                          config.link.words_per_cycle) +
                 config.link.latency_cycles;
+
+        // Resident footprint: the die keeps its whole closure's node
+        // records, double-buffered embeddings at the model's widest
+        // dim, and every subgraph edge record for the full run.
+        slice.info.resident_words =
+            std::uint64_t(slice.nodes.size()) *
+                (halo_node_words + 2 * max_dim) +
+            std::uint64_t(slice.info.subgraph_edges) * (edge_dim + 2);
 
         for (NodeId g : slice.nodes)
             local_of[g] = kNotLocal; // reset for the next shard

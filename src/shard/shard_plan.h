@@ -60,12 +60,37 @@ struct LinkConfig {
     }
 };
 
+/**
+ * How shards cooperate across layers.
+ *
+ * - kHaloReplication: each die statically replicates its owned nodes'
+ *   L-hop closure and runs the whole model independently — one up-front
+ *   halo fetch, no mid-run traffic, but replication approaches P on
+ *   dense power-law graphs (capacity escape hatch, not a speedup).
+ * - kGhostExchange: each die keeps only its 0-hop subgraph plus a
+ *   one-deep ghost fringe and exchanges boundary embeddings over the
+ *   link after every message-passing layer (the Dorylus-style
+ *   scatter) — per-layer traffic, but per-die state stays ~n/P.
+ */
+enum class ShardMode {
+    kHaloReplication,
+    kGhostExchange,
+};
+
+const char *shard_mode_name(ShardMode mode);
+
 /** Scale-out shape of a sharded job. */
 struct ShardConfig {
     /** Number of dies. 1 degenerates to single-engine execution. */
     std::uint32_t num_shards = 2;
     ShardStrategy strategy = ShardStrategy::kContiguous;
+    ShardMode mode = ShardMode::kHaloReplication;
     LinkConfig link{};
+    /** Extra restreaming passes for the streaming partitioners
+     * (LDG/Fennel/HDRF): each pass re-runs the stream with the
+     * previous assignment as prior (Nishimura & Ugander), typically
+     * shrinking the cut. Ignored by non-streaming strategies. */
+    std::uint32_t restream_passes = 0;
 
     void
     validate() const
@@ -87,10 +112,24 @@ struct ShardInfo {
     std::size_t subgraph_edges = 0;  ///< edges in the die's subgraph
     std::size_t fetched_edges = 0;   ///< subgraph edges not owned here
     std::uint64_t halo_words = 0;    ///< 4-byte words over the link
-    /** Halo fetch charged to this die: halo_words at
-     * LinkConfig::words_per_cycle plus latency_cycles, in kernel
-     * cycles. 0 for the die of a non-sharded plan. */
+    /** Link cycles charged to this die: the one-shot halo fetch
+     * (halo mode) or the sum over per-layer boundary exchanges (ghost
+     * mode), at LinkConfig::words_per_cycle plus latency_cycles per
+     * transfer. 0 for the die of a non-sharded plan. */
     std::uint64_t comm_cycles = 0;
+    /** Ghost mode: total words this die sends across all per-layer
+     * exchanges (owned boundary embeddings, one copy per consuming
+     * die). 0 in halo mode. */
+    std::uint64_t exchange_send_words = 0;
+    /** Ghost mode: total words this die receives across all per-layer
+     * exchanges (its ghost set's embeddings, each layer). 0 in halo
+     * mode. */
+    std::uint64_t exchange_recv_words = 0;
+    /** Peak die-local memory footprint in 4-byte words: node records +
+     * double-buffered embeddings + edge records for everything the die
+     * keeps resident. The capacity axis of the halo-vs-ghost tradeoff
+     * (halo replicates closures; ghost keeps ~n/P plus a fringe). */
+    std::uint64_t resident_words = 0;
     RunStats stats;                  ///< the die's own engine stats
 };
 
@@ -161,6 +200,16 @@ std::uint32_t message_hops(const Model &model);
  */
 ShardPlan make_shard_plan(const Model &model, const GraphSample &prepared,
                           const ShardConfig &config);
+
+/**
+ * The node -> shard assignment a plan for `config` would use:
+ * shard_assignment under the configured strategy, plus
+ * `config.restream_passes` prior-seeded restreaming refinement passes
+ * for the streaming strategies. Shared by the halo planner and
+ * make_ghost_plan so both modes shard identically.
+ */
+std::vector<std::uint32_t> shard_plan_assignment(const CooGraph &graph,
+                                                 const ShardConfig &config);
 
 /**
  * Merges per-slice engine results (same order as plan.slices) into the

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "ghost/ghost_engine.h"
+
 namespace flowgnn {
 
 ShardedEngine::ShardedEngine(const Model &model, EngineConfig engine_config,
@@ -27,6 +29,17 @@ ShardedEngine::run(const GraphSample &sample, const RunOptions &opts) const
     GraphSample prepared = model_.prepare(sample);
     if (!prepared.consistent())
         throw std::invalid_argument("ShardedEngine: inconsistent sample");
+
+    // Per-layer boundary exchange replaces halo replication entirely:
+    // planning, execution, and composition all route through
+    // src/ghost. Same result shape, same exactness contract.
+    if (shard_config_.mode == ShardMode::kGhostExchange) {
+        GhostPlan ghost_plan =
+            make_ghost_plan(model_, prepared, shard_config_);
+        return run_ghost_plan(model_, engine_.config(), prepared,
+                              std::move(ghost_plan), opts,
+                              shard_config_.link);
+    }
 
     ShardPlan plan = make_shard_plan(model_, prepared, shard_config_);
     std::vector<RunResult> results(plan.slices.size());

@@ -167,5 +167,125 @@ TEST(DifferentialFuzz, ShardedMatchesUnshardedOn56RandomGraphs)
     }
 }
 
+TEST(DifferentialFuzz, GhostMatchesUnshardedOn56RandomGraphs)
+{
+    // The ghost-mode mirror of the sharded pass above: per-layer
+    // boundary exchange instead of halo replication, same exactness
+    // policy. With one NT unit the ghost path's functional pass runs
+    // src-major — the same order every die and the unsharded engine
+    // see — so results must be bit-identical; with more NT units the
+    // unsharded engine reorders message arrival and only float-sum
+    // reassociation separates the two, bounded by 1e-4.
+    constexpr ShardStrategy kStrategies[] = {
+        ShardStrategy::kModulo,        ShardStrategy::kContiguous,
+        ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+        ShardStrategy::kLdg,           ShardStrategy::kFennel,
+        ShardStrategy::kHdrf,
+    };
+    constexpr int kCases = 56; // exactly 8 cases per strategy (i % 7)
+    for (int i = 0; i < kCases; ++i) {
+        const std::uint64_t seed = 0x6AAD0000ull + i;
+        const ModelKind kind =
+            kAllKinds[i % std::size(kAllKinds)];
+
+        const NodeId n = 60 + 4 * i;
+        CooGraph g = make_random_graph(i, n, seed);
+        const std::size_t node_dim = 8;
+        const std::size_t edge_dim = ((i / 2) % 2) ? 4 : 0;
+        GraphSample sample =
+            make_random_sample(std::move(g), node_dim, edge_dim,
+                               seed + 1);
+
+        EngineConfig cfg;
+        cfg.p_node = 1 + i % 2; // even cases: bit-exact path
+        ShardConfig shard;
+        shard.num_shards = 2 + i % 3;
+        shard.strategy = kStrategies[i % std::size(kStrategies)];
+        shard.mode = ShardMode::kGhostExchange;
+
+        SCOPED_TRACE(::testing::Message()
+                     << "ghost case " << i << ": " << model_name(kind)
+                     << " / shards=" << shard.num_shards << " / "
+                     << shard_strategy_name(shard.strategy)
+                     << " / pn=" << cfg.p_node << " / n=" << n);
+
+        Model model = make_model(kind, node_dim, edge_dim, seed);
+        RunResult single = Engine(model, cfg).run(sample);
+        ShardedRunResult sharded =
+            ShardedEngine(model, cfg, shard).run(sample);
+
+        ASSERT_EQ(sharded.embeddings.rows(), single.embeddings.rows());
+        if (cfg.p_node == 1) {
+            EXPECT_EQ(
+                max_abs_diff(sharded.embeddings, single.embeddings),
+                0.0f)
+                << "single-NT ghost runs share the unsharded src-major "
+                   "order and must be bit-exact";
+            EXPECT_EQ(sharded.prediction, single.prediction);
+        } else {
+            EXPECT_LT(
+                max_abs_diff(sharded.embeddings, single.embeddings),
+                1e-4f);
+            EXPECT_NEAR(sharded.prediction, single.prediction, 1e-4);
+        }
+    }
+}
+
+TEST(DifferentialFuzz, GhostFixedPointStaysBitExactWhenOrderPreserved)
+{
+    // The fixed-point wire format is where ghost mode could diverge:
+    // every boundary crossing re-quantizes the shipped embedding. The
+    // engine's quantizer is idempotent (shipped values are already
+    // exactly representable), so with one NT unit — order preserved —
+    // re-quantization must be value-preserving and ghost runs stay
+    // BIT-EXACT against the unsharded fixed-point engine, at every
+    // precision down to 8_4. No looser fixed-point tolerance exists or
+    // is needed; multi-NT reassociation (covered above in float) is
+    // the only inexact axis.
+    constexpr FixedPointFormat kFormats[] = {kFixed16_10, kFixed12_8,
+                                             kFixed8_4};
+    constexpr ShardStrategy kStrategies[] = {
+        ShardStrategy::kContiguous, ShardStrategy::kFennel,
+        ShardStrategy::kHdrf};
+    int i = 0;
+    for (const FixedPointFormat &format : kFormats) {
+        for (ShardStrategy strategy : kStrategies) {
+            const std::uint64_t seed = 0x7AAD0000ull + i;
+            const ModelKind kind = kAllKinds[i % std::size(kAllKinds)];
+            CooGraph g = make_random_graph(i, 80 + 8 * i, seed);
+            GraphSample sample =
+                make_random_sample(std::move(g), 8, 0, seed + 1);
+
+            EngineConfig cfg;
+            cfg.p_node = 1;
+            RunOptions opts;
+            opts.emulate_fixed_point = true;
+            opts.fixed_point = format;
+            ShardConfig shard;
+            shard.num_shards = 3;
+            shard.strategy = strategy;
+            shard.mode = ShardMode::kGhostExchange;
+
+            SCOPED_TRACE(::testing::Message()
+                         << "fixed case " << i << ": "
+                         << model_name(kind) << " / "
+                         << shard_strategy_name(strategy) << " / Q"
+                         << format.total_bits << "."
+                         << format.frac_bits);
+
+            Model model = make_model(kind, 8, 0, seed);
+            RunResult single = Engine(model, cfg).run(sample, opts);
+            ShardedRunResult sharded =
+                ShardedEngine(model, cfg, shard).run(sample, opts);
+
+            EXPECT_EQ(
+                max_abs_diff(sharded.embeddings, single.embeddings),
+                0.0f);
+            EXPECT_EQ(sharded.prediction, single.prediction);
+            ++i;
+        }
+    }
+}
+
 } // namespace
 } // namespace flowgnn

@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "graph/partition.h"
 #include "graph/streaming_partition.h"
+#include "shard/shard_plan.h"
 #include "tensor/rng.h"
 
 namespace flowgnn {
@@ -289,6 +290,100 @@ TEST(StreamingPartitionQuality, EveryStreamingStrategyBeatsEveryExistingOnPowerL
                     g, shard_assignment(g, p, strategy)));
         EXPECT_LT(worst_new, best_old) << "P=" << p;
     }
+}
+
+TEST(Restreaming, PriorAwarePassesNeverWorsenAndUsuallyImproveTheCut)
+{
+    // Nishimura & Ugander restreaming: re-running a streaming
+    // partitioner with the previous assignment as the neighbor-lookup
+    // prior lets early vertices see late neighbors. On a power-law
+    // graph every streaming strategy's cut must improve after one
+    // pass, and each pass must keep the assignment valid and balanced.
+    Rng rng(0x31);
+    CooGraph g = make_barabasi_albert(3000, 4, rng);
+    for (ShardStrategy strategy : kStreaming) {
+        ShardConfig cfg;
+        cfg.num_shards = 8;
+        cfg.strategy = strategy;
+        cfg.restream_passes = 0;
+        double prev_cut = shard_cut_fraction(
+            g, shard_plan_assignment(g, cfg));
+        double pass0 = prev_cut;
+        for (std::uint32_t passes = 1; passes <= 3; ++passes) {
+            cfg.restream_passes = passes;
+            auto assignment = shard_plan_assignment(g, cfg);
+            ASSERT_EQ(assignment.size(), g.num_nodes);
+            std::vector<std::size_t> owned(8, 0);
+            for (auto s : assignment) {
+                ASSERT_LT(s, 8u);
+                ++owned[s];
+            }
+            for (std::uint32_t s = 0; s < 8; ++s)
+                EXPECT_GT(owned[s], 0u)
+                    << shard_strategy_name(strategy) << " pass "
+                    << passes;
+            double cut = shard_cut_fraction(g, assignment);
+            EXPECT_LE(cut, prev_cut * 1.02)
+                << shard_strategy_name(strategy) << " pass " << passes
+                << ": restreaming should not regress the cut";
+            prev_cut = cut;
+        }
+        EXPECT_LT(prev_cut, pass0)
+            << shard_strategy_name(strategy)
+            << ": three restream passes must beat the one-shot stream";
+    }
+}
+
+TEST(Restreaming, ExplicitPriorOverloadFeedsUnplacedNeighbors)
+{
+    // The 4-arg shard_assignment overload with a full prior must see
+    // every neighbor placed (no kUnassigned fallthrough), so its
+    // result generally differs from the one-shot stream; feeding a
+    // strategy that ignores priors must reproduce the plain result.
+    Rng rng(0x32);
+    CooGraph g = make_barabasi_albert(1000, 4, rng);
+    auto one_shot =
+        shard_assignment(g, 4, ShardStrategy::kFennel);
+    auto restreamed =
+        shard_assignment(g, 4, ShardStrategy::kFennel, one_shot);
+    ASSERT_EQ(restreamed.size(), g.num_nodes);
+    EXPECT_LE(shard_cut_fraction(g, restreamed),
+              shard_cut_fraction(g, one_shot) * 1.02);
+
+    auto contiguous =
+        shard_assignment(g, 4, ShardStrategy::kContiguous);
+    EXPECT_EQ(shard_assignment(g, 4, ShardStrategy::kContiguous,
+                               one_shot),
+              contiguous)
+        << "non-streaming strategies are prior-oblivious";
+}
+
+TEST(Restreaming, ConvergedAssignmentStopsEarly)
+{
+    // Prior-oblivious strategies are instant fixed points: the first
+    // restream pass reproduces its input, the convergence break fires,
+    // and any pass count yields the one-shot assignment. (Streaming
+    // strategies may 2-cycle rather than converge — see the quality
+    // test above — so the break is a shortcut, not a guarantee.)
+    CooGraph g = make_ring_lattice(256, 2);
+    ShardConfig none;
+    none.num_shards = 4;
+    none.strategy = ShardStrategy::kContiguous;
+    ShardConfig many = none;
+    many.restream_passes = 30;
+    EXPECT_EQ(shard_plan_assignment(g, none),
+              shard_plan_assignment(g, many));
+
+    // High pass counts stay well-defined for streaming strategies too:
+    // valid shard ids, nothing unassigned.
+    ShardConfig ldg;
+    ldg.num_shards = 4;
+    ldg.strategy = ShardStrategy::kLdg;
+    ldg.restream_passes = 30;
+    auto assignment = shard_plan_assignment(g, ldg);
+    ASSERT_EQ(assignment.size(), g.num_nodes);
+    for (auto s : assignment)
+        ASSERT_LT(s, 4u);
 }
 
 TEST(StreamingPartitionQuality, BfsStillWinsOnLocalityGraphs)
