@@ -15,6 +15,11 @@
  *
  *   ./flowgnn_make_reddit --out reddit.fgnb [--scale D] [--nodes N]
  *                         [--m M] [--node-dim F] [--seed S]
+ *                         [--threads T]
+ *
+ * --threads parallelizes the FGNB write's column transforms and the
+ * v2 chunked checksum (0 = all host cores, the default); generation
+ * itself stays serial — BA attachment is a sequential random process.
  *
  * --scale divides the Table IV node/edge targets (64 reproduces the
  * in-process stand-in's size; 1 — the default — is full scale). The
@@ -51,6 +56,7 @@ main(int argc, char **argv)
     std::uint32_t m = 0;
     std::size_t node_dim = 0;
     std::uint64_t seed = 0xF10733DBull;
+    unsigned threads = 0;
     for (int a = 1; a < argc; ++a) {
         if (!std::strcmp(argv[a], "--out") && a + 1 < argc)
             out_path = argv[++a];
@@ -64,11 +70,13 @@ main(int argc, char **argv)
             node_dim = static_cast<std::size_t>(std::atoll(argv[++a]));
         else if (!std::strcmp(argv[a], "--seed") && a + 1 < argc)
             seed = static_cast<std::uint64_t>(std::atoll(argv[++a]));
+        else if (!std::strcmp(argv[a], "--threads") && a + 1 < argc)
+            threads = static_cast<unsigned>(std::atoll(argv[++a]));
         else {
             std::fprintf(stderr,
                          "usage: flowgnn_make_reddit --out PATH "
                          "[--scale D] [--nodes N] [--m M] "
-                         "[--node-dim F] [--seed S]\n");
+                         "[--node-dim F] [--seed S] [--threads T]\n");
             return 1;
         }
     }
@@ -101,7 +109,7 @@ main(int argc, char **argv)
                 out_path.c_str(), s.graph.num_nodes, s.num_edges(),
                 node_dim);
     try {
-        GraphFile::save(out_path, s);
+        GraphFile::save(out_path, s, {.threads = threads});
     } catch (const GraphFileError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

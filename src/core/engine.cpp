@@ -75,21 +75,34 @@ RunResult
 Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
                      RunWorkspace &ws) const
 {
+    // The GraphSample front door keeps the stronger structural check
+    // (feature-row counts vs graph sizes) that SampleRef cannot see.
+    if (!prepared.consistent())
+        throw std::invalid_argument("Engine: inconsistent sample");
+    return run_prepared(SampleRef(prepared), opts, ws, 1);
+}
+
+RunResult
+Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
+                     RunWorkspace &ws, unsigned threads) const
+{
     opts.validate();
     const EngineConfig &cfg = config_;
     RunWorkspace::Impl &wsi = *ws.impl_;
-    if (!prepared.consistent())
+    if (!prepared.consistent(threads))
         throw std::invalid_argument("Engine: inconsistent sample");
 
     const NodeId n_nodes = prepared.num_nodes();
-    LayerContext ctx = make_layer_context(prepared, model_.pna_params());
-    CsrGraph csr(prepared.graph);
+    LayerContext ctx =
+        make_layer_context(prepared, model_.pna_params(), threads);
+    CsrGraph csr(prepared.graph, threads);
 
     // Destination-node -> MP-bank map. Modulo is the on-the-fly
     // default; greedy balancing is the pre-processing ablation.
     std::vector<std::uint32_t> &bank_of = wsi.bank_of;
     if (cfg.bank_policy == BankPolicy::kGreedyBalanced) {
-        bank_of = balanced_bank_assignment(prepared.graph, cfg.p_edge);
+        bank_of =
+            balanced_bank_assignment(prepared.graph, cfg.p_edge, threads);
     } else {
         bank_of.resize(n_nodes);
         for (NodeId n = 0; n < n_nodes; ++n)
@@ -127,8 +140,8 @@ Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
     // HBM2 bandwidth, ~380 words/cycle at 300 MHz); not overlapped
     // with compute, as documented in docs/DESIGN.md.
     stats.load_cycles = ceil_div(
-        std::uint64_t(n_nodes) * (prepared.node_dim() + 1) +
-            std::uint64_t(prepared.num_edges()) * (prepared.edge_dim() + 2),
+        std::uint64_t(n_nodes) * (prepared.node_dim + 1) +
+            std::uint64_t(prepared.num_edges()) * (prepared.edge_dim + 2),
         64);
 
     // ---- Functional state ----
@@ -139,7 +152,12 @@ Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
     cur.resize(n_nodes);
     out.resize(n_nodes);
     for (NodeId i = 0; i < n_nodes; ++i) {
-        cur[i] = prepared.node_features.row_vec(i);
+        if (prepared.node_dim > 0) {
+            const float *row = prepared.node_row(i);
+            cur[i].assign(row, row + prepared.node_dim);
+        } else {
+            cur[i].clear();
+        }
         if (quant)
             quantize_inplace(cur[i], fmt);
     }
@@ -155,7 +173,7 @@ Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
         if (pending_gat == nullptr)
             return;
         if (!csc)
-            csc = std::make_unique<CscGraph>(prepared.graph);
+            csc = std::make_unique<CscGraph>(prepared.graph, threads);
         std::vector<Vec> combined(n_nodes);
         for (NodeId i = 0; i < n_nodes; ++i) {
             std::vector<const Vec *> nbrs;
@@ -171,8 +189,8 @@ Engine::run_prepared(const GraphSample &prepared, const RunOptions &opts,
         pending_gat = nullptr;
     };
 
-    const float *efeat = prepared.edge_features.data();
-    const std::size_t edge_dim = prepared.edge_dim();
+    const float *efeat = prepared.edge_features;
+    const std::size_t edge_dim = prepared.edge_dim;
 
     const std::size_t n_stages = model_.num_stages();
     const std::vector<StageSchedule> schedule =

@@ -120,6 +120,18 @@ class Engine
     RunResult run_prepared(const GraphSample &prepared,
                            const RunOptions &opts, RunWorkspace &ws) const;
 
+    /**
+     * The canonical run body: a borrowed SampleRef, so mmap-backed
+     * graphs (io::GraphView::sample) run without ever materializing a
+     * GraphSample. The GraphSample overloads delegate here. `threads`
+     * parallelizes the host-side adjacency builds and degree counts
+     * (0 = all cores); results are bit-identical for every value. The
+     * ref's backing must stay alive for the duration of the call.
+     */
+    RunResult run_prepared(const SampleRef &prepared,
+                           const RunOptions &opts, RunWorkspace &ws,
+                           unsigned threads = 0) const;
+
   private:
     const Model &model_;
     EngineConfig config_;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Host-side range parallelism for the embarrassingly parallel stages
+ * of graph ingestion and planning (degree counting, CSR fill, closure
+ * extraction, chunked checksums).
+ *
+ * One primitive is enough: parallel_ranges splits [0, total) into at
+ * most `threads` balanced contiguous ranges and runs one callback per
+ * range on its own std::thread (range 0 on the calling thread), with a
+ * per-call serial cutoff for callers whose elements are not cheap
+ * (e.g. 64 MiB checksum chunks). Every
+ * algorithm built on it is required to be *bit-identical to its serial
+ * form regardless of thread count* — per-thread partial results are
+ * merged in thread-index order, never in completion order — so a
+ * differential test pinning serial == parallel output is meaningful,
+ * and callers may default to all host cores without a determinism
+ * knob.
+ *
+ * Small inputs run serially: below kSerialCutoff elements the thread
+ * launch costs more than it saves, and every tiny test graph would
+ * otherwise pay it.
+ */
+#ifndef FLOWGNN_CORE_PARALLEL_H
+#define FLOWGNN_CORE_PARALLEL_H
+
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flowgnn {
+
+/**
+ * Resolves a thread-count request: 0 means "all host cores"
+ * (std::thread::hardware_concurrency, at least 1), anything else is
+ * taken as given.
+ */
+inline unsigned
+host_threads(unsigned requested = 0)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/** Elements below which parallel_ranges stays serial. */
+inline constexpr std::size_t kSerialCutoff = 1u << 16;
+
+/**
+ * Runs fn(begin, end, tid) over a balanced split of [0, total) across
+ * up to `threads` threads (0 = all host cores). Ranges are contiguous,
+ * ascending, and differ in size by at most one element; tid is the
+ * range index, and range 0 runs on the calling thread. Serial (one
+ * range, tid 0) when threads <= 1 or total < serial_cutoff — override
+ * the cutoff when elements are expensive (checksum chunks, shard
+ * closures) rather than per-edge cheap. The first exception thrown by
+ * any range is rethrown on the caller after all threads join.
+ */
+template <class Fn>
+void
+parallel_ranges(std::size_t total, unsigned threads, Fn &&fn,
+                std::size_t serial_cutoff = kSerialCutoff)
+{
+    unsigned t = host_threads(threads);
+    if (t > total)
+        t = total == 0 ? 1 : static_cast<unsigned>(total);
+    if (t <= 1 || total < serial_cutoff) {
+        fn(std::size_t(0), total, 0u);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(t);
+    auto run_range = [&](unsigned tid) {
+        const std::size_t begin = total * tid / t;
+        const std::size_t end = total * (tid + 1) / t;
+        try {
+            fn(begin, end, tid);
+        } catch (...) {
+            errors[tid] = std::current_exception();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(t - 1);
+    for (unsigned tid = 1; tid < t; ++tid)
+        pool.emplace_back(run_range, tid);
+    run_range(0);
+    for (std::thread &th : pool)
+        th.join();
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+/** The number of ranges parallel_ranges would use — for sizing
+ * per-thread scratch (count matrices, partial sums) up front. */
+inline unsigned
+parallel_range_count(std::size_t total, unsigned threads,
+                     std::size_t serial_cutoff = kSerialCutoff)
+{
+    unsigned t = host_threads(threads);
+    if (t > total)
+        t = total == 0 ? 1 : static_cast<unsigned>(total);
+    if (t <= 1 || total < serial_cutoff)
+        return 1;
+    return t;
+}
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_PARALLEL_H

@@ -140,12 +140,22 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
                const GraphSample &prepared, GhostPlan &&plan,
                const RunOptions &opts, const LinkConfig &link)
 {
+    return run_ghost_plan(model, config, SampleRef(prepared),
+                          std::move(plan), opts, link, 1);
+}
+
+ShardedRunResult
+run_ghost_plan(const Model &model, const EngineConfig &config,
+               const SampleRef &prepared, GhostPlan &&plan,
+               const RunOptions &opts, const LinkConfig &link,
+               unsigned host_cores)
+{
     ShardedRunResult out;
 
     if (!plan.sharded) {
         Engine engine(model, config);
         RunWorkspace ws;
-        RunResult r = engine.run_prepared(prepared, opts, ws);
+        RunResult r = engine.run_prepared(prepared, opts, ws, host_cores);
         out.embeddings = std::move(r.embeddings);
         out.prediction = r.prediction;
         GhostShard &shard = plan.shards.front();
@@ -167,16 +177,16 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
     EngineConfig func_cfg = config;
     func_cfg.mode = PipelineMode::kNonPipelined;
     RunWorkspace func_ws;
-    RunResult func =
-        Engine(model, func_cfg).run_prepared(prepared, opts, func_ws);
+    RunResult func = Engine(model, func_cfg)
+                         .run_prepared(prepared, opts, func_ws, host_cores);
     out.embeddings = std::move(func.embeddings);
     out.prediction = func.prediction;
 
     // ---- Per-die timing, one thread per die ----
     const std::vector<StageSchedule> schedule =
         build_stage_schedule(model, config);
-    const std::size_t node_dim = prepared.node_dim();
-    const std::size_t edge_dim = prepared.edge_dim();
+    const std::size_t node_dim = prepared.node_dim;
+    const std::size_t edge_dim = prepared.edge_dim;
     std::vector<RunStats> per_die(plan.shards.size());
     {
         std::vector<std::thread> threads;

@@ -39,6 +39,22 @@ ShardedRunResult run_ghost_plan(const Model &model,
                                 const LinkConfig &link);
 
 /**
+ * SampleRef overload, the canonical body (the GraphSample one
+ * delegates): the global functional pass runs straight off the
+ * borrowed view — an mmap-backed graph is never copied into a
+ * GraphSample — and `threads` parallelizes its host-side builds
+ * (bit-identical results for every value; the per-die timing passes
+ * already run one thread per die). The ref's backing must stay alive
+ * for the duration of the call.
+ */
+ShardedRunResult run_ghost_plan(const Model &model,
+                                const EngineConfig &config,
+                                const SampleRef &prepared,
+                                GhostPlan &&plan, const RunOptions &opts,
+                                const LinkConfig &link,
+                                unsigned threads = 0);
+
+/**
  * Drop-in counterpart of ShardedEngine for ghost mode; ShardedEngine
  * itself routes here when ShardConfig::mode == kGhostExchange, so most
  * callers never name this class.

@@ -1,6 +1,9 @@
 #include "ghost/ghost_plan.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "core/parallel.h"
 
 namespace flowgnn {
 
@@ -18,9 +21,17 @@ GhostPlan
 make_ghost_plan(const Model &model, const GraphSample &prepared,
                 const ShardConfig &config)
 {
+    return make_ghost_plan(model, SampleRef(prepared), config, 1);
+}
+
+GhostPlan
+make_ghost_plan(const Model &model, const SampleRef &prepared,
+                const ShardConfig &config, unsigned threads)
+{
     config.validate();
     const NodeId n_nodes = prepared.num_nodes();
     const std::uint32_t P = config.num_shards;
+    const bool has_dgn = prepared.dgn_field != nullptr;
 
     GhostPlan plan;
 
@@ -32,26 +43,26 @@ make_ghost_plan(const Model &model, const GraphSample &prepared,
         shard.info.owned_nodes = n_nodes;
         shard.info.subgraph_edges = prepared.num_edges();
         // Whole-graph resident footprint (matches the halo fallback).
-        std::size_t whole_dim = prepared.node_dim();
+        std::size_t whole_dim = prepared.node_dim;
         for (std::size_t i = 0; i < model.num_stages(); ++i)
             whole_dim = std::max(whole_dim, model.stage(i).out_dim());
         shard.info.resident_words =
             std::uint64_t(n_nodes) *
-                (prepared.node_dim() + 3 +
-                 !prepared.dgn_field.empty() + 2 * whole_dim) +
+                (prepared.node_dim + 3 + has_dgn + 2 * whole_dim) +
             std::uint64_t(prepared.num_edges()) *
-                (prepared.edge_dim() + 2);
+                (prepared.edge_dim + 2);
         plan.shards.push_back(std::move(shard));
         return plan;
     }
 
     plan.sharded = true;
-    plan.assignment = shard_plan_assignment(prepared.graph, config);
+    plan.assignment =
+        shard_plan_assignment(prepared.graph, config, threads);
     const std::vector<std::uint32_t> &owner = plan.assignment;
 
-    const std::size_t node_dim = prepared.node_dim();
-    const std::size_t edge_dim = prepared.edge_dim();
-    const bool has_dgn = !prepared.dgn_field.empty();
+    const std::size_t node_dim = prepared.node_dim;
+    const std::size_t edge_dim = prepared.edge_dim;
+    const std::size_t n_edges = prepared.num_edges();
     // Ghost bootstrap metadata: id + two true degrees (+ DGN scalar).
     const std::uint64_t meta_words = 3 + has_dgn;
 
@@ -87,14 +98,24 @@ make_ghost_plan(const Model &model, const GraphSample &prepared,
         max_dim = std::max(max_dim, model.stage(i).out_dim());
 
     // ---- Ghost membership: one edge scan + a node x die bitmap ----
-    // ghost_flag[v * P + d] = vertex v is in die d's ghost set.
+    // ghost_flag[v * P + d] = vertex v is in die d's ghost set. The
+    // scan only ever *sets* bytes, so concurrent workers write through
+    // relaxed atomic_refs: whichever edge sets a flag first, the final
+    // bitmap is the same set of 1s the serial scan produces.
     std::vector<std::uint8_t> ghost_flag(std::size_t(n_nodes) * P, 0);
-    for (const Edge &e : prepared.graph.edges) {
-        const std::uint32_t ds = owner[e.src];
-        const std::uint32_t dd = owner[e.dst];
-        if (ds != dd)
-            ghost_flag[std::size_t(e.src) * P + dd] = 1;
-    }
+    parallel_ranges(
+        n_edges, threads,
+        [&](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const NodeId src = prepared.graph.src(i);
+                const std::uint32_t ds = owner[src];
+                const std::uint32_t dd = owner[prepared.graph.dst(i)];
+                if (ds != dd)
+                    std::atomic_ref<std::uint8_t>(
+                        ghost_flag[std::size_t(src) * P + dd])
+                        .store(1, std::memory_order_relaxed);
+            }
+        });
 
     // multiplicity[v] = how many foreign dies hold v as a ghost — the
     // per-layer send fan-out of v's owner.
@@ -108,54 +129,110 @@ make_ghost_plan(const Model &model, const GraphSample &prepared,
         send_mult[owner[v]] += mult;
     }
 
-    plan.cut_edges = shard_cut_edges(prepared.graph, plan.assignment);
+    plan.cut_edges =
+        shard_cut_edges(prepared.graph, plan.assignment, threads);
 
     // ---- Build the per-die shards (dies owning nothing are dropped,
-    // mirroring make_shard_plan's effective-P contract) ----
+    // mirroring make_shard_plan's effective-P contract). Dies are
+    // independent, so the locals scans run one die per worker; the
+    // serial collection below keeps shard order deterministic. ----
+    std::vector<GhostShard> built(P);
+    parallel_ranges(
+        P, threads,
+        [&](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t d = begin; d < end; ++d) {
+                if (owned_count[d] == 0)
+                    continue; // n < P degenerate die: owns nothing
+                GhostShard &shard = built[d];
+                shard.info.shard = static_cast<std::uint32_t>(d);
+                for (NodeId v = 0; v < n_nodes; ++v) {
+                    const bool own = owner[v] == d;
+                    if (own || ghost_flag[std::size_t(v) * P + d]) {
+                        shard.locals.push_back(v);
+                        shard.is_owned.push_back(own);
+                    }
+                }
+                shard.info.owned_nodes = owned_count[d];
+                shard.info.halo_nodes =
+                    shard.locals.size() - shard.info.owned_nodes;
+                shard.local_graph.num_nodes =
+                    static_cast<NodeId>(shard.locals.size());
+            }
+        },
+        /*serial_cutoff=*/2);
+
     std::vector<std::uint32_t> slot_of(P, 0xFFFFFFFFu);
     std::size_t locals_total = 0;
     for (std::uint32_t d = 0; d < P; ++d) {
         if (owned_count[d] == 0)
-            continue; // n < P degenerate die: owns nothing, no ghosts
+            continue;
         slot_of[d] = static_cast<std::uint32_t>(plan.shards.size());
-        GhostShard shard;
-        shard.info.shard = d;
-        for (NodeId v = 0; v < n_nodes; ++v) {
-            const bool own = owner[v] == d;
-            if (own || ghost_flag[std::size_t(v) * P + d]) {
-                shard.locals.push_back(v);
-                shard.is_owned.push_back(own);
-            }
-        }
-        shard.info.owned_nodes = owned_count[d];
-        shard.info.halo_nodes =
-            shard.locals.size() - shard.info.owned_nodes;
-        shard.local_graph.num_nodes =
-            static_cast<NodeId>(shard.locals.size());
-        locals_total += shard.locals.size();
-        plan.shards.push_back(std::move(shard));
+        locals_total += built[d].locals.size();
+        plan.shards.push_back(std::move(built[d]));
     }
 
-    // Local-id maps for every die at once, so the edge scan below is a
-    // single pass whatever P is.
-    std::vector<std::vector<std::uint32_t>> local_of(plan.shards.size());
-    for (std::size_t t = 0; t < plan.shards.size(); ++t) {
-        local_of[t].assign(n_nodes, 0);
-        const GhostShard &shard = plan.shards[t];
-        for (std::uint32_t i = 0; i < shard.locals.size(); ++i)
-            local_of[t][shard.locals[i]] = i;
-    }
+    // Local-id maps for every die at once, so the edge scans below are
+    // single passes whatever P is.
+    const std::size_t n_shards = plan.shards.size();
+    std::vector<std::vector<std::uint32_t>> local_of(n_shards);
+    parallel_ranges(
+        n_shards, threads,
+        [&](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t t = begin; t < end; ++t) {
+                local_of[t].assign(n_nodes, 0);
+                const GhostShard &shard = plan.shards[t];
+                for (std::uint32_t i = 0; i < shard.locals.size(); ++i)
+                    local_of[t][shard.locals[i]] = i;
+            }
+        },
+        /*serial_cutoff=*/2);
 
     // ---- Local graphs: every edge lands on its destination's owner,
     // in global edge order (preserves per-row CSR order, hence the
-    // engine's arrival order, on every die). ----
-    for (const Edge &e : prepared.graph.edges) {
-        const std::uint32_t t = slot_of[owner[e.dst]];
-        GhostShard &shard = plan.shards[t];
-        shard.local_graph.edges.push_back(
-            {local_of[t][e.src], local_of[t][e.dst]});
-        shard.info.fetched_edges += owner[e.src] != owner[e.dst];
+    // engine's arrival order, on every die). Parallelized as a
+    // counting sort keyed by the destination's die: per-thread-range
+    // per-die counts, a serial prefix scan in (die, thread) order, and
+    // a parallel stable fill — bit-identical to the serial append. ----
+    const unsigned n_ranges = parallel_range_count(n_edges, threads);
+    std::vector<std::vector<std::size_t>> range_count(
+        n_ranges, std::vector<std::size_t>(n_shards, 0));
+    std::vector<std::vector<std::size_t>> range_fetched(
+        n_ranges, std::vector<std::size_t>(n_shards, 0));
+    parallel_ranges(
+        n_edges, threads,
+        [&](std::size_t begin, std::size_t end, unsigned tid) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t os = owner[prepared.graph.src(i)];
+                const std::uint32_t od = owner[prepared.graph.dst(i)];
+                const std::uint32_t t = slot_of[od];
+                ++range_count[tid][t];
+                range_fetched[tid][t] += os != od;
+            }
+        });
+    std::vector<std::vector<std::size_t>> cursor(
+        n_ranges, std::vector<std::size_t>(n_shards, 0));
+    for (std::size_t t = 0; t < n_shards; ++t) {
+        std::size_t run = 0;
+        std::size_t fetched = 0;
+        for (unsigned tid = 0; tid < n_ranges; ++tid) {
+            cursor[tid][t] = run;
+            run += range_count[tid][t];
+            fetched += range_fetched[tid][t];
+        }
+        plan.shards[t].local_graph.edges.resize(run);
+        plan.shards[t].info.fetched_edges = fetched;
     }
+    parallel_ranges(
+        n_edges, threads,
+        [&](std::size_t begin, std::size_t end, unsigned tid) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const NodeId src = prepared.graph.src(i);
+                const NodeId dst = prepared.graph.dst(i);
+                const std::uint32_t t = slot_of[owner[dst]];
+                plan.shards[t].local_graph.edges[cursor[tid][t]++] = {
+                    local_of[t][src], local_of[t][dst]};
+            }
+        });
 
     // ---- Word counts, per-exchange link cycles, resident footprint --
     const std::uint64_t node_rec = node_dim + 3 + has_dgn;

@@ -99,6 +99,20 @@ struct GhostPlan {
 GhostPlan make_ghost_plan(const Model &model, const GraphSample &prepared,
                           const ShardConfig &config);
 
+/**
+ * SampleRef overload, the canonical planner: plans straight off a
+ * borrowed view (io::GraphView::sample), so ghost-sharding a full-scale
+ * mmap-backed graph never materializes an in-memory GraphSample.
+ * `threads` parallelizes the host-side stages — partitioning's
+ * adjacency build, the ghost-membership edge scan (per-thread flag
+ * bitmaps OR-merged), the per-die locals extraction, and the
+ * local-graph fill (a counting sort by owning die that preserves
+ * global edge order) — with plans bit-identical to the serial planner
+ * for every thread count (0 = all cores).
+ */
+GhostPlan make_ghost_plan(const Model &model, const SampleRef &prepared,
+                          const ShardConfig &config, unsigned threads = 0);
+
 } // namespace flowgnn
 
 #endif // FLOWGNN_GHOST_GHOST_PLAN_H

@@ -1,34 +1,28 @@
 #include "graph/graph.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "core/parallel.h"
 
 namespace flowgnn {
 
 std::vector<std::uint32_t>
 CooGraph::out_degrees() const
 {
-    std::vector<std::uint32_t> deg(num_nodes, 0);
-    for (const auto &e : edges)
-        ++deg[e.src];
-    return deg;
+    return GraphRef(*this).out_degrees(1);
 }
 
 std::vector<std::uint32_t>
 CooGraph::in_degrees() const
 {
-    std::vector<std::uint32_t> deg(num_nodes, 0);
-    for (const auto &e : edges)
-        ++deg[e.dst];
-    return deg;
+    return GraphRef(*this).in_degrees(1);
 }
 
 bool
 CooGraph::valid() const
 {
-    for (const auto &e : edges)
-        if (e.src >= num_nodes || e.dst >= num_nodes)
-            return false;
-    return true;
+    return GraphRef(*this).valid(1);
 }
 
 CooGraph
@@ -45,52 +39,151 @@ CooGraph::with_reverse_edges() const
 
 namespace {
 
-void
-check_valid(const CooGraph &coo, const char *what)
+/**
+ * Per-endpoint counts for a GraphRef: per-thread-range count arrays
+ * merged in thread order, so the result is bit-identical to a serial
+ * count for any thread count.
+ */
+std::vector<std::uint32_t>
+count_endpoints(const GraphRef &g, unsigned threads, bool by_src)
 {
-    if (!coo.valid())
-        throw std::invalid_argument(std::string(what) +
-                                    ": edge endpoint out of range");
+    const NodeId n = g.num_nodes();
+    const std::size_t e = g.num_edges();
+    const unsigned T = parallel_range_count(e, threads);
+    std::vector<std::vector<std::uint32_t>> parts(
+        T, std::vector<std::uint32_t>(n, 0));
+    parallel_ranges(e, threads,
+                    [&](std::size_t b, std::size_t end, unsigned tid) {
+                        std::vector<std::uint32_t> &c = parts[tid];
+                        for (std::size_t i = b; i < end; ++i)
+                            ++c[by_src ? g.src(i) : g.dst(i)];
+                    });
+    if (T == 1)
+        return std::move(parts[0]);
+    std::vector<std::uint32_t> &out = parts[0];
+    parallel_ranges(n, threads,
+                    [&](std::size_t b, std::size_t end, unsigned) {
+                        for (std::size_t v = b; v < end; ++v)
+                            for (unsigned t = 1; t < T; ++t)
+                                out[v] += parts[t][v];
+                    });
+    return std::move(out);
+}
+
+/**
+ * The shared parallel counting sort behind CsrGraph/CscGraph: group
+ * edges by one endpoint (`by_src`), preserving the edge-stream order
+ * within every group — per-thread-range counts, a serial prefix scan
+ * interleaving (node, thread) in that order, then a parallel stable
+ * fill where thread t writes its own range at precomputed cursors.
+ * Bit-identical to the serial build for every thread count.
+ */
+void
+build_adjacency(const GraphRef &g, unsigned threads, bool by_src,
+                const char *what, std::vector<std::size_t> &offsets,
+                std::vector<NodeId> &val, std::vector<EdgeId> &edge_id)
+{
+    const NodeId n = g.num_nodes();
+    const std::size_t e = g.num_edges();
+    const unsigned T = parallel_range_count(e, threads);
+
+    std::vector<std::vector<std::uint32_t>> counts(
+        T, std::vector<std::uint32_t>(n, 0));
+    parallel_ranges(
+        e, threads, [&](std::size_t b, std::size_t end, unsigned tid) {
+            std::vector<std::uint32_t> &c = counts[tid];
+            for (std::size_t i = b; i < end; ++i) {
+                const NodeId s = g.src(i);
+                const NodeId d = g.dst(i);
+                if (s >= n || d >= n)
+                    throw std::invalid_argument(
+                        std::string(what) +
+                        ": edge endpoint out of range");
+                ++c[by_src ? s : d];
+            }
+        });
+
+    // Prefix scan in (node, thread) order: counts[t][v] becomes the
+    // first slot thread t fills for node v. Cursor values fit uint32
+    // because EdgeId does.
+    offsets.assign(std::size_t(n) + 1, 0);
+    std::size_t running = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        offsets[v] = running;
+        for (unsigned t = 0; t < T; ++t) {
+            const std::uint32_t c = counts[t][v];
+            counts[t][v] = static_cast<std::uint32_t>(running);
+            running += c;
+        }
+    }
+    offsets[n] = running;
+
+    val.resize(e);
+    edge_id.resize(e);
+    parallel_ranges(
+        e, threads, [&](std::size_t b, std::size_t end, unsigned tid) {
+            std::vector<std::uint32_t> &cur = counts[tid];
+            for (std::size_t i = b; i < end; ++i) {
+                const NodeId s = g.src(i);
+                const NodeId d = g.dst(i);
+                const std::uint32_t slot = cur[by_src ? s : d]++;
+                val[slot] = by_src ? d : s;
+                edge_id[slot] = static_cast<EdgeId>(i);
+            }
+        });
 }
 
 } // namespace
 
-CsrGraph::CsrGraph(const CooGraph &coo) : num_nodes_(coo.num_nodes)
+std::vector<std::uint32_t>
+GraphRef::out_degrees(unsigned threads) const
 {
-    check_valid(coo, "CsrGraph");
-    offsets_.assign(num_nodes_ + 1, 0);
-    for (const auto &e : coo.edges)
-        ++offsets_[e.src + 1];
-    for (NodeId n = 0; n < num_nodes_; ++n)
-        offsets_[n + 1] += offsets_[n];
-    dst_.resize(coo.edges.size());
-    edge_id_.resize(coo.edges.size());
-    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (EdgeId i = 0; i < coo.edges.size(); ++i) {
-        const auto &e = coo.edges[i];
-        std::size_t slot = cursor[e.src]++;
-        dst_[slot] = e.dst;
-        edge_id_[slot] = i;
-    }
+    return count_endpoints(*this, threads, /*by_src=*/true);
 }
 
-CscGraph::CscGraph(const CooGraph &coo) : num_nodes_(coo.num_nodes)
+std::vector<std::uint32_t>
+GraphRef::in_degrees(unsigned threads) const
 {
-    check_valid(coo, "CscGraph");
-    offsets_.assign(num_nodes_ + 1, 0);
-    for (const auto &e : coo.edges)
-        ++offsets_[e.dst + 1];
-    for (NodeId n = 0; n < num_nodes_; ++n)
-        offsets_[n + 1] += offsets_[n];
-    src_.resize(coo.edges.size());
-    edge_id_.resize(coo.edges.size());
-    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (EdgeId i = 0; i < coo.edges.size(); ++i) {
-        const auto &e = coo.edges[i];
-        std::size_t slot = cursor[e.dst]++;
-        src_[slot] = e.src;
-        edge_id_[slot] = i;
-    }
+    return count_endpoints(*this, threads, /*by_src=*/false);
+}
+
+bool
+GraphRef::valid(unsigned threads) const
+{
+    const std::size_t e = num_edges_;
+    const unsigned T = parallel_range_count(e, threads);
+    std::vector<std::uint8_t> ok(T, 1);
+    parallel_ranges(e, threads,
+                    [&](std::size_t b, std::size_t end, unsigned tid) {
+                        for (std::size_t i = b; i < end; ++i)
+                            if (src(i) >= num_nodes_ ||
+                                dst(i) >= num_nodes_) {
+                                ok[tid] = 0;
+                                return;
+                            }
+                    });
+    for (std::uint8_t o : ok)
+        if (!o)
+            return false;
+    return true;
+}
+
+CsrGraph::CsrGraph(const CooGraph &coo) : CsrGraph(GraphRef(coo), 1) {}
+
+CsrGraph::CsrGraph(const GraphRef &graph, unsigned threads)
+    : num_nodes_(graph.num_nodes())
+{
+    build_adjacency(graph, threads, /*by_src=*/true, "CsrGraph",
+                    offsets_, dst_, edge_id_);
+}
+
+CscGraph::CscGraph(const CooGraph &coo) : CscGraph(GraphRef(coo), 1) {}
+
+CscGraph::CscGraph(const GraphRef &graph, unsigned threads)
+    : num_nodes_(graph.num_nodes())
+{
+    build_adjacency(graph, threads, /*by_src=*/false, "CscGraph",
+                    offsets_, src_, edge_id_);
 }
 
 } // namespace flowgnn

@@ -59,6 +59,68 @@ struct CooGraph {
 };
 
 /**
+ * Non-owning view of an edge list, the common currency of every host
+ * hot path (CSR builds, partitioners, closure extraction, plan
+ * construction). Two backings share one accessor surface:
+ *
+ *  - array-of-structs: a CooGraph's Edge vector (in-memory samples),
+ *  - columnar: separate src[]/dst[] arrays — exactly the FGNB file's
+ *    section layout, so an mmap-backed io::GraphView hands out a
+ *    GraphRef over the mapped columns and a graph larger than RAM
+ *    streams through the hot paths without ever materializing Edge
+ *    structs (see docs/DESIGN.md, "Out-of-core GraphView").
+ *
+ * The view borrows: the backing (CooGraph or mapped file) must outlive
+ * every use.
+ */
+class GraphRef
+{
+  public:
+    GraphRef() = default;
+    /** View over an in-memory COO graph. */
+    GraphRef(const CooGraph &coo)
+        : num_nodes_(coo.num_nodes), num_edges_(coo.edges.size()),
+          aos_(coo.edges.data())
+    {
+    }
+    /** View over columnar src[]/dst[] arrays (each `num_edges` long). */
+    GraphRef(NodeId num_nodes, std::size_t num_edges,
+             const std::uint32_t *src, const std::uint32_t *dst)
+        : num_nodes_(num_nodes), num_edges_(num_edges), col_src_(src),
+          col_dst_(dst)
+    {
+    }
+
+    NodeId num_nodes() const { return num_nodes_; }
+    std::size_t num_edges() const { return num_edges_; }
+
+    NodeId src(std::size_t i) const
+    {
+        return aos_ ? aos_[i].src : col_src_[i];
+    }
+    NodeId dst(std::size_t i) const
+    {
+        return aos_ ? aos_[i].dst : col_dst_[i];
+    }
+
+    /** Out-degree of every node (parallel, bit-identical to serial;
+     * threads 0 = all host cores). */
+    std::vector<std::uint32_t> out_degrees(unsigned threads = 0) const;
+    /** In-degree of every node (parallel, bit-identical to serial). */
+    std::vector<std::uint32_t> in_degrees(unsigned threads = 0) const;
+
+    /** True if every endpoint is < num_nodes (parallel scan). */
+    bool valid(unsigned threads = 0) const;
+
+  private:
+    NodeId num_nodes_ = 0;
+    std::size_t num_edges_ = 0;
+    const Edge *aos_ = nullptr;
+    const std::uint32_t *col_src_ = nullptr;
+    const std::uint32_t *col_dst_ = nullptr;
+};
+
+/**
  * CSR adjacency: for each source node, the list of (dst, edge_id)
  * pairs. Built on the fly per graph; used by the scatter phase.
  */
@@ -67,6 +129,14 @@ class CsrGraph
   public:
     CsrGraph() = default;
     explicit CsrGraph(const CooGraph &coo);
+    /**
+     * Builds from any edge view — including mmap-backed columns — with
+     * a thread-parallel counting sort (per-thread-range degree counts,
+     * prefix-sum merge in thread order, per-range stable fill). The
+     * result is bit-identical to the serial build for every thread
+     * count; threads 0 = all host cores.
+     */
+    explicit CsrGraph(const GraphRef &graph, unsigned threads = 0);
 
     NodeId num_nodes() const { return num_nodes_; }
     std::size_t num_edges() const { return dst_.size(); }
@@ -101,6 +171,8 @@ class CscGraph
   public:
     CscGraph() = default;
     explicit CscGraph(const CooGraph &coo);
+    /** Parallel build from any edge view; see CsrGraph(GraphRef). */
+    explicit CscGraph(const GraphRef &graph, unsigned threads = 0);
 
     NodeId num_nodes() const { return num_nodes_; }
     std::size_t num_edges() const { return src_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "graph/streaming_partition.h"
 
 namespace flowgnn {
@@ -22,6 +23,48 @@ std::uint32_t
 balanced_rank_owner(std::uint64_t rank, std::uint64_t n, std::uint32_t p)
 {
     return static_cast<std::uint32_t>(rank * p / n);
+}
+
+/**
+ * Undirected BFS renumbering over the symmetrized simple adjacency,
+ * then a balanced split of the BFS ranks — the kBfsContiguous body,
+ * shared by the CooGraph and GraphRef entry points so both see one
+ * adjacency build. Disconnected components restart the BFS from the
+ * lowest unvisited id, so every node gets a rank.
+ */
+std::vector<std::uint32_t>
+bfs_contiguous_assignment(const UndirectedCsr &adj,
+                          std::uint32_t num_shards)
+{
+    const NodeId n = adj.num_nodes();
+    std::vector<NodeId> rank(n, 0);
+    std::vector<bool> visited(n, false);
+    std::vector<NodeId> queue;
+    queue.reserve(n);
+    NodeId next_rank = 0;
+    for (NodeId seed = 0; seed < n; ++seed) {
+        if (visited[seed])
+            continue;
+        visited[seed] = true;
+        queue.push_back(seed);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            NodeId v = queue[head];
+            rank[v] = next_rank++;
+            for (std::size_t i = adj.row_begin(v); i < adj.row_end(v);
+                 ++i) {
+                if (!visited[adj.nbr[i]]) {
+                    visited[adj.nbr[i]] = true;
+                    queue.push_back(adj.nbr[i]);
+                }
+            }
+        }
+        queue.clear();
+    }
+
+    std::vector<std::uint32_t> assignment(n);
+    for (NodeId v = 0; v < n; ++v)
+        assignment[v] = balanced_rank_owner(rank[v], n, num_shards);
+    return assignment;
 }
 
 } // namespace
@@ -60,19 +103,27 @@ workload_imbalance(const CooGraph &graph, std::uint32_t p_edge)
 std::vector<std::uint32_t>
 balanced_bank_assignment(const CooGraph &graph, std::uint32_t p_edge)
 {
+    return balanced_bank_assignment(GraphRef(graph), p_edge, 1);
+}
+
+std::vector<std::uint32_t>
+balanced_bank_assignment(const GraphRef &graph, std::uint32_t p_edge,
+                         unsigned threads)
+{
     if (p_edge == 0)
         throw std::invalid_argument(
             "balanced_bank_assignment: p_edge must be > 0");
-    auto in_deg = graph.in_degrees();
-    std::vector<NodeId> order(graph.num_nodes);
-    for (NodeId n = 0; n < graph.num_nodes; ++n)
+    const NodeId num_nodes = graph.num_nodes();
+    auto in_deg = graph.in_degrees(threads);
+    std::vector<NodeId> order(num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n)
         order[n] = n;
     std::stable_sort(order.begin(), order.end(),
                      [&](NodeId a, NodeId b) {
                          return in_deg[a] > in_deg[b];
                      });
 
-    std::vector<std::uint32_t> assignment(graph.num_nodes, 0);
+    std::vector<std::uint32_t> assignment(num_nodes, 0);
     std::vector<std::size_t> load(p_edge, 0);
     for (NodeId n : order) {
         std::uint32_t lightest = 0;
@@ -124,73 +175,8 @@ std::vector<std::uint32_t>
 shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
                  ShardStrategy strategy)
 {
-    if (num_shards == 0)
-        throw std::invalid_argument(
-            "shard_assignment: num_shards must be > 0");
-    switch (strategy) {
-      case ShardStrategy::kModulo: {
-        std::vector<std::uint32_t> assignment(graph.num_nodes);
-        for (NodeId n = 0; n < graph.num_nodes; ++n)
-            assignment[n] = n % num_shards;
-        return assignment;
-      }
-      case ShardStrategy::kContiguous: {
-        // Balanced id ranges: sizes differ by at most one node.
-        std::vector<std::uint32_t> assignment(graph.num_nodes);
-        for (NodeId n = 0; n < graph.num_nodes; ++n)
-            assignment[n] =
-                balanced_rank_owner(n, graph.num_nodes, num_shards);
-        return assignment;
-      }
-      case ShardStrategy::kGreedyBalanced:
-        return balanced_bank_assignment(graph, num_shards);
-      case ShardStrategy::kBfsContiguous: {
-        // Undirected BFS renumbering over the symmetrized *simple*
-        // adjacency (self-loops and parallel edges deduplicated, so
-        // multigraphs order exactly like their simple graph), then a
-        // balanced split of the BFS ranks. Disconnected components
-        // restart the BFS from the lowest unvisited id, so every node
-        // gets a rank.
-        const NodeId n = graph.num_nodes;
-        const UndirectedCsr adj = build_undirected_csr(graph);
-
-        std::vector<NodeId> rank(n, 0);
-        std::vector<bool> visited(n, false);
-        std::vector<NodeId> queue;
-        queue.reserve(n);
-        NodeId next_rank = 0;
-        for (NodeId seed = 0; seed < n; ++seed) {
-            if (visited[seed])
-                continue;
-            visited[seed] = true;
-            queue.push_back(seed);
-            for (std::size_t head = 0; head < queue.size(); ++head) {
-                NodeId v = queue[head];
-                rank[v] = next_rank++;
-                for (std::size_t i = adj.row_begin(v);
-                     i < adj.row_end(v); ++i) {
-                    if (!visited[adj.nbr[i]]) {
-                        visited[adj.nbr[i]] = true;
-                        queue.push_back(adj.nbr[i]);
-                    }
-                }
-            }
-            queue.clear();
-        }
-
-        std::vector<std::uint32_t> assignment(n);
-        for (NodeId v = 0; v < n; ++v)
-            assignment[v] = balanced_rank_owner(rank[v], n, num_shards);
-        return assignment;
-      }
-      case ShardStrategy::kLdg:
-        return ldg_partition(graph, num_shards);
-      case ShardStrategy::kFennel:
-        return fennel_partition(graph, num_shards);
-      case ShardStrategy::kHdrf:
-        return hdrf_partition(graph, num_shards);
-    }
-    throw std::invalid_argument("shard_assignment: unknown strategy");
+    return shard_assignment(GraphRef(graph), num_shards, strategy,
+                            nullptr, nullptr, 1);
 }
 
 std::vector<std::uint32_t>
@@ -198,29 +184,106 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
                  ShardStrategy strategy,
                  const std::vector<std::uint32_t> &prior)
 {
+    return shard_assignment(GraphRef(graph), num_shards, strategy,
+                            &prior, nullptr, 1);
+}
+
+std::vector<std::uint32_t>
+shard_assignment(const GraphRef &graph, std::uint32_t num_shards,
+                 ShardStrategy strategy,
+                 const std::vector<std::uint32_t> *prior,
+                 const UndirectedCsr *adj, unsigned threads)
+{
+    if (num_shards == 0)
+        throw std::invalid_argument(
+            "shard_assignment: num_shards must be > 0");
+    const NodeId num_nodes = graph.num_nodes();
+
+    const bool streaming = strategy == ShardStrategy::kLdg ||
+                           strategy == ShardStrategy::kFennel ||
+                           strategy == ShardStrategy::kHdrf;
+    if (streaming && prior != nullptr && prior->size() != num_nodes)
+        throw std::invalid_argument(
+            "stream_partition: prior assignment size mismatch");
+
+    // The streaming strategies (the only prior-sensitive ones) and
+    // kBfsContiguous consume the symmetrized simple adjacency; build
+    // it lazily once so the cheap strategies never pay for it.
+    UndirectedCsr built;
+    auto adjacency = [&]() -> const UndirectedCsr & {
+        if (adj != nullptr)
+            return *adj;
+        if (built.offsets.empty())
+            built = build_undirected_csr(graph, threads);
+        return built;
+    };
+
     switch (strategy) {
+      case ShardStrategy::kModulo: {
+        std::vector<std::uint32_t> assignment(num_nodes);
+        for (NodeId n = 0; n < num_nodes; ++n)
+            assignment[n] = n % num_shards;
+        return assignment;
+      }
+      case ShardStrategy::kContiguous: {
+        // Balanced id ranges: sizes differ by at most one node.
+        std::vector<std::uint32_t> assignment(num_nodes);
+        for (NodeId n = 0; n < num_nodes; ++n)
+            assignment[n] =
+                balanced_rank_owner(n, num_nodes, num_shards);
+        return assignment;
+      }
+      case ShardStrategy::kGreedyBalanced:
+        return balanced_bank_assignment(graph, num_shards, threads);
+      case ShardStrategy::kBfsContiguous:
+        return num_nodes == 0
+                   ? std::vector<std::uint32_t>()
+                   : bfs_contiguous_assignment(adjacency(), num_shards);
       case ShardStrategy::kLdg:
-        return ldg_partition(graph, num_shards, {}, &prior);
+        if (num_nodes == 0 || num_shards == 1)
+            return std::vector<std::uint32_t>(num_nodes, 0);
+        return ldg_partition(adjacency(), num_shards, {}, prior);
       case ShardStrategy::kFennel:
-        return fennel_partition(graph, num_shards, {}, &prior);
+        if (num_nodes == 0 || num_shards == 1)
+            return std::vector<std::uint32_t>(num_nodes, 0);
+        return fennel_partition(adjacency(), num_shards, {}, prior);
       case ShardStrategy::kHdrf:
-        return hdrf_partition(graph, num_shards, {}, &prior);
-      default:
-        // Non-streaming strategies are prior-free by construction.
-        return shard_assignment(graph, num_shards, strategy);
+        if (num_nodes == 0 || num_shards == 1)
+            return std::vector<std::uint32_t>(num_nodes, 0);
+        return hdrf_partition(adjacency(), num_shards, {}, prior);
     }
+    throw std::invalid_argument("shard_assignment: unknown strategy");
 }
 
 std::size_t
 shard_cut_edges(const CooGraph &graph,
                 const std::vector<std::uint32_t> &assignment)
 {
-    if (assignment.size() != graph.num_nodes)
+    return shard_cut_edges(GraphRef(graph), assignment, 1);
+}
+
+std::size_t
+shard_cut_edges(const GraphRef &graph,
+                const std::vector<std::uint32_t> &assignment,
+                unsigned threads)
+{
+    if (assignment.size() != graph.num_nodes())
         throw std::invalid_argument(
             "shard_cut_edges: assignment size mismatch");
+    const std::size_t e = graph.num_edges();
+    const unsigned T = parallel_range_count(e, threads);
+    std::vector<std::size_t> partial(T, 0);
+    parallel_ranges(e, threads,
+                    [&](std::size_t b, std::size_t end, unsigned tid) {
+                        std::size_t cut = 0;
+                        for (std::size_t i = b; i < end; ++i)
+                            cut += assignment[graph.src(i)] !=
+                                   assignment[graph.dst(i)];
+                        partial[tid] = cut;
+                    });
     std::size_t cut = 0;
-    for (const auto &e : graph.edges)
-        cut += assignment[e.src] != assignment[e.dst];
+    for (std::size_t p : partial)
+        cut += p;
     return cut;
 }
 
@@ -283,6 +346,15 @@ shard_closure(const CooGraph &graph,
               std::uint32_t shard, std::uint32_t hops)
 {
     return shard_closure(CscGraph(graph), assignment, shard, hops);
+}
+
+std::vector<NodeId>
+shard_closure(const GraphRef &graph,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops, unsigned threads)
+{
+    return shard_closure(CscGraph(graph, threads), assignment, shard,
+                         hops);
 }
 
 double

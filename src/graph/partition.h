@@ -20,6 +20,7 @@
 #define FLOWGNN_GRAPH_PARTITION_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,10 +28,16 @@
 
 namespace flowgnn {
 
-/** MP unit (bank) owning a destination node, given Pedge units. */
+struct UndirectedCsr;
+
+/** MP unit (bank) owning a destination node, given Pedge units.
+ * Throws std::invalid_argument when p_edge is 0 — the public entry
+ * point would otherwise divide by zero. */
 inline std::uint32_t
 dest_bank(NodeId dst, std::uint32_t p_edge)
 {
+    if (p_edge == 0)
+        throw std::invalid_argument("dest_bank: p_edge must be > 0");
     return dst % p_edge;
 }
 
@@ -62,6 +69,13 @@ double workload_imbalance(const std::vector<std::size_t> &counts);
  */
 std::vector<std::uint32_t>
 balanced_bank_assignment(const CooGraph &graph, std::uint32_t p_edge);
+
+/** Edge-view overload (mmap-backed graphs): the degree count runs on
+ * `threads` host cores (0 = all); the greedy pass itself is serial.
+ * Identical output to the CooGraph overload. */
+std::vector<std::uint32_t>
+balanced_bank_assignment(const GraphRef &graph, std::uint32_t p_edge,
+                         unsigned threads = 0);
 
 /** Per-bank edge counts under an explicit node->bank assignment. */
 std::vector<std::size_t>
@@ -143,9 +157,36 @@ shard_assignment(const CooGraph &graph, std::uint32_t num_shards,
                  ShardStrategy strategy,
                  const std::vector<std::uint32_t> &prior);
 
+/**
+ * The canonical assignment entry point, shared by both overloads
+ * above (via GraphRef's zero-copy CooGraph view) and by mmap-backed
+ * graphs. Optional knobs for the heavy strategies:
+ *
+ *  - `prior`: restreaming prior for kLdg/kFennel/kHdrf (null = cold
+ *    pass; ignored by non-streaming strategies).
+ *  - `adj`: a prebuilt symmetrized simple adjacency
+ *    (build_undirected_csr) consumed by kBfsContiguous and the
+ *    streaming strategies. Callers that restream or compare
+ *    strategies build it once instead of once per pass; null = built
+ *    internally when needed.
+ *  - `threads`: host cores for the internal adjacency/degree builds
+ *    (0 = all). Output is identical for every value.
+ */
+std::vector<std::uint32_t>
+shard_assignment(const GraphRef &graph, std::uint32_t num_shards,
+                 ShardStrategy strategy,
+                 const std::vector<std::uint32_t> *prior = nullptr,
+                 const UndirectedCsr *adj = nullptr,
+                 unsigned threads = 0);
+
 /** Number of edges whose endpoints live on different shards. */
 std::size_t shard_cut_edges(const CooGraph &graph,
                             const std::vector<std::uint32_t> &assignment);
+
+/** Edge-view overload, counted on `threads` host cores (0 = all). */
+std::size_t shard_cut_edges(const GraphRef &graph,
+                            const std::vector<std::uint32_t> &assignment,
+                            unsigned threads = 0);
 
 /** Cut edges as a fraction of all edges (0 = no inter-die traffic). */
 double shard_cut_fraction(const CooGraph &graph,
@@ -172,6 +213,15 @@ std::vector<NodeId>
 shard_closure(const CooGraph &graph,
               const std::vector<std::uint32_t> &assignment,
               std::uint32_t shard, std::uint32_t hops);
+
+/** Edge-view overload: the in-adjacency is built from the view on
+ * `threads` host cores (0 = all). Callers extracting many shards
+ * should build one CscGraph(GraphRef) and use the overload above. */
+std::vector<NodeId>
+shard_closure(const GraphRef &graph,
+              const std::vector<std::uint32_t> &assignment,
+              std::uint32_t shard, std::uint32_t hops,
+              unsigned threads = 0);
 
 /**
  * Average number of copies of each node across all shard closures

@@ -17,6 +17,37 @@ gaussian_features(std::size_t rows, std::size_t cols,
     return m;
 }
 
+SampleRef::SampleRef(const GraphSample &sample)
+    : graph(sample.graph), num_pool_nodes(sample.num_pool_nodes),
+      label(sample.label)
+{
+    if (sample.node_features.cols() > 0) {
+        node_features = sample.node_features.data();
+        node_dim = sample.node_features.cols();
+    }
+    if (sample.edge_features.cols() > 0 &&
+        sample.edge_features.rows() > 0) {
+        edge_features = sample.edge_features.data();
+        edge_dim = sample.edge_features.cols();
+    }
+    if (!sample.dgn_field.empty())
+        dgn_field = sample.dgn_field.data();
+    if (!sample.true_in_deg.empty())
+        true_in_deg = sample.true_in_deg.data();
+    if (!sample.true_out_deg.empty())
+        true_out_deg = sample.true_out_deg.data();
+}
+
+bool
+SampleRef::consistent(unsigned threads) const
+{
+    if (!graph.valid(threads))
+        return false;
+    if (num_pool_nodes > graph.num_nodes())
+        return false;
+    return true;
+}
+
 bool
 GraphSample::consistent() const
 {

@@ -58,6 +58,61 @@ struct GraphSample {
 };
 
 /**
+ * Non-owning view of a sample: a GraphRef plus raw row-major feature
+ * pointers. This is the engine-facing twin of GraphSample — every hot
+ * path (partitioners, planners, Engine::run_prepared, ghost runs) works
+ * off a SampleRef, so an mmap-backed io::GraphView can feed a graph
+ * larger than RAM straight into them without copying into a
+ * GraphSample. Constructed from a GraphSample it borrows everything;
+ * the columnar fields can also be filled directly from mapped sections.
+ * Null pointers mean "absent" exactly where GraphSample uses an empty
+ * vector/matrix. The backing must outlive every use.
+ */
+struct SampleRef {
+    GraphRef graph;
+    /** [num_nodes x node_dim] row-major; null iff node_dim == 0. */
+    const float *node_features = nullptr;
+    std::size_t node_dim = 0;
+    /** [num_edges x edge_dim] row-major; null iff edge_dim == 0. */
+    const float *edge_features = nullptr;
+    std::size_t edge_dim = 0;
+    NodeId num_pool_nodes = 0;
+    /** Per-node DGN scalar field (num_nodes entries) or null. */
+    const float *dgn_field = nullptr;
+    /** Degree overrides (num_nodes entries each) or null. */
+    const std::uint32_t *true_in_deg = nullptr;
+    const std::uint32_t *true_out_deg = nullptr;
+    float label = 0.0f;
+
+    SampleRef() = default;
+    SampleRef(const GraphSample &sample);
+
+    NodeId num_nodes() const { return graph.num_nodes(); }
+    std::size_t num_edges() const { return graph.num_edges(); }
+
+    NodeId
+    pool_nodes() const
+    {
+        return num_pool_nodes == 0 ? num_nodes() : num_pool_nodes;
+    }
+
+    const float *
+    node_row(NodeId n) const
+    {
+        return node_features + std::size_t(n) * node_dim;
+    }
+
+    const float *
+    edge_row(std::size_t e) const
+    {
+        return edge_features + e * edge_dim;
+    }
+
+    /** Structural sanity checks, mirroring GraphSample::consistent. */
+    bool consistent(unsigned threads = 0) const;
+};
+
+/**
  * Deterministic N(0, 0.5) feature matrix drawn row-major from
  * Rng(seed) — the one synthetic feature distribution shared by the
  * scale-out benches (bench::with_features), the io loader's generated

@@ -4,57 +4,122 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace flowgnn {
 
 UndirectedCsr
 build_undirected_csr(const CooGraph &graph)
 {
-    const NodeId n = graph.num_nodes;
+    return build_undirected_csr(GraphRef(graph), 1);
+}
+
+UndirectedCsr
+build_undirected_csr(const GraphRef &graph, unsigned threads)
+{
+    const NodeId n = graph.num_nodes();
+    const std::size_t e = graph.num_edges();
     UndirectedCsr out;
     out.offsets.assign(std::size_t(n) + 1, 0);
 
     // Pass 1: symmetrized counts, duplicates included (self-loops are
-    // dropped here: a node is never its own neighbor).
-    for (const Edge &e : graph.edges) {
-        if (e.src >= n || e.dst >= n)
-            throw std::invalid_argument(
-                "build_undirected_csr: edge endpoint out of range");
-        if (e.src == e.dst)
-            continue;
-        ++out.offsets[e.src + 1];
-        ++out.offsets[e.dst + 1];
-    }
-    for (NodeId v = 0; v < n; ++v)
-        out.offsets[v + 1] += out.offsets[v];
+    // dropped here: a node is never its own neighbor). Per-thread
+    // count arrays; a non-self edge contributes one entry to each
+    // endpoint's row.
+    const unsigned T = parallel_range_count(e, threads);
+    std::vector<std::vector<std::uint32_t>> counts(
+        T, std::vector<std::uint32_t>(n, 0));
+    parallel_ranges(
+        e, threads, [&](std::size_t b, std::size_t end, unsigned tid) {
+            std::vector<std::uint32_t> &c = counts[tid];
+            for (std::size_t i = b; i < end; ++i) {
+                const NodeId s = graph.src(i);
+                const NodeId d = graph.dst(i);
+                if (s >= n || d >= n)
+                    throw std::invalid_argument(
+                        "build_undirected_csr: edge endpoint out of "
+                        "range");
+                if (s == d)
+                    continue;
+                ++c[s];
+                ++c[d];
+            }
+        });
 
-    out.nbr.resize(out.offsets[n]);
-    std::vector<std::size_t> fill(out.offsets.begin(),
-                                  out.offsets.end() - 1);
-    for (const Edge &e : graph.edges) {
-        if (e.src == e.dst)
-            continue;
-        out.nbr[fill[e.src]++] = e.dst;
-        out.nbr[fill[e.dst]++] = e.src;
+    // Prefix scan in (node, thread) order: cursors[t][v] becomes the
+    // first slot thread t fills in row v. The per-range fill visits
+    // edges in stream order within each contiguous ascending range,
+    // so concatenating ranges in thread order reproduces the serial
+    // stream order exactly. Cursors are size_t: a symmetrized list
+    // holds up to 2 * num_edges entries, which can exceed 32 bits.
+    std::vector<std::vector<std::size_t>> cursors(T);
+    std::size_t running = 0;
+    for (unsigned t = 0; t < T; ++t)
+        cursors[t].resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+        out.offsets[v] = running;
+        for (unsigned t = 0; t < T; ++t) {
+            cursors[t][v] = running;
+            running += counts[t][v];
+        }
     }
+    out.offsets[n] = running;
+    counts.clear();
+    counts.shrink_to_fit();
+
+    out.nbr.resize(running);
+    parallel_ranges(
+        e, threads, [&](std::size_t b, std::size_t end, unsigned tid) {
+            std::vector<std::size_t> &cur = cursors[tid];
+            for (std::size_t i = b; i < end; ++i) {
+                const NodeId s = graph.src(i);
+                const NodeId d = graph.dst(i);
+                if (s == d)
+                    continue;
+                out.nbr[cur[s]++] = d;
+                out.nbr[cur[d]++] = s;
+            }
+        });
+    cursors.clear();
+    cursors.shrink_to_fit();
 
     // Pass 2: compact each row in place, keeping only the first
     // occurrence of every neighbor (order-preserving dedupe — a
-    // multigraph and its simple graph yield the same rows). seen[u]
-    // holds the last row that admitted u; rows are visited in
-    // ascending order, so `seen[u] == v` means "already in row v".
-    std::vector<NodeId> seen(n, n);
-    std::vector<std::size_t> compact_offsets(std::size_t(n) + 1, 0);
+    // multigraph and its simple graph yield the same rows). Rows are
+    // disjoint, so threads dedupe disjoint row ranges with private
+    // seen[] arrays; seen[u] holds the last row that admitted u, and
+    // a thread visits its rows in ascending order, so `seen[u] == v`
+    // means "already in row v".
+    std::vector<std::size_t> new_len(n);
+    parallel_ranges(
+        n, threads, [&](std::size_t b, std::size_t end, unsigned) {
+            std::vector<NodeId> seen(n, n);
+            for (std::size_t v = b; v < end; ++v) {
+                std::size_t w = out.offsets[v];
+                for (std::size_t i = out.offsets[v];
+                     i < out.offsets[v + 1]; ++i) {
+                    NodeId u = out.nbr[i];
+                    if (seen[u] == v)
+                        continue;
+                    seen[u] = static_cast<NodeId>(v);
+                    out.nbr[w++] = u;
+                }
+                new_len[v] = w - out.offsets[v];
+            }
+        });
+
+    // Serial left-shift compaction of the deduped rows (dest always
+    // precedes source, so forward copies are safe).
     std::size_t w = 0;
+    std::vector<std::size_t> compact_offsets(std::size_t(n) + 1, 0);
     for (NodeId v = 0; v < n; ++v) {
         compact_offsets[v] = w;
-        for (std::size_t i = out.offsets[v]; i < out.offsets[v + 1];
-             ++i) {
-            NodeId u = out.nbr[i];
-            if (seen[u] == v)
-                continue;
-            seen[u] = v;
-            out.nbr[w++] = u;
-        }
+        const std::size_t begin = out.offsets[v];
+        if (w != begin)
+            std::copy(out.nbr.begin() + begin,
+                      out.nbr.begin() + begin + new_len[v],
+                      out.nbr.begin() + w);
+        w += new_len[v];
     }
     compact_offsets[n] = w;
     out.nbr.resize(w);
@@ -78,7 +143,7 @@ constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
  * break to the least-loaded, then lowest-index partition.
  */
 std::vector<std::uint32_t>
-stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
+stream_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
                  const StreamingPartitionConfig &config, StreamKind kind,
                  const std::vector<std::uint32_t> *prior)
 {
@@ -89,7 +154,7 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
         throw std::invalid_argument(
             "stream_partition: balance_slack must be >= 1");
 
-    const NodeId n = graph.num_nodes;
+    const NodeId n = adj.num_nodes();
     if (prior != nullptr && prior->size() != n)
         throw std::invalid_argument(
             "stream_partition: prior assignment size mismatch");
@@ -97,7 +162,6 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
     if (n == 0 || num_partitions == 1)
         return assignment;
 
-    const UndirectedCsr adj = build_undirected_csr(graph);
     const std::uint32_t P = num_partitions;
 
     const std::size_t ideal = (std::size_t(n) + P - 1) / P;
@@ -190,6 +254,33 @@ stream_partition(const CooGraph &graph, std::uint32_t num_partitions,
     return assignment;
 }
 
+/**
+ * CooGraph front door: validates (preserving the adjacency-free early
+ * returns — an edgeless request with P == 1 never pays the build),
+ * builds the adjacency, and streams.
+ */
+std::vector<std::uint32_t>
+stream_partition_coo(const CooGraph &graph,
+                     std::uint32_t num_partitions,
+                     const StreamingPartitionConfig &config,
+                     StreamKind kind,
+                     const std::vector<std::uint32_t> *prior)
+{
+    if (num_partitions == 0)
+        throw std::invalid_argument(
+            "stream_partition: num_partitions must be > 0");
+    if (config.balance_slack < 1.0)
+        throw std::invalid_argument(
+            "stream_partition: balance_slack must be >= 1");
+    if (prior != nullptr && prior->size() != graph.num_nodes)
+        throw std::invalid_argument(
+            "stream_partition: prior assignment size mismatch");
+    if (graph.num_nodes == 0 || num_partitions == 1)
+        return std::vector<std::uint32_t>(graph.num_nodes, 0);
+    return stream_partition(build_undirected_csr(graph),
+                            num_partitions, config, kind, prior);
+}
+
 } // namespace
 
 std::vector<std::uint32_t>
@@ -197,7 +288,16 @@ ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
               const StreamingPartitionConfig &config,
               const std::vector<std::uint32_t> *prior)
 {
-    return stream_partition(graph, num_partitions, config,
+    return stream_partition_coo(graph, num_partitions, config,
+                                StreamKind::kLdg, prior);
+}
+
+std::vector<std::uint32_t>
+ldg_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
+              const StreamingPartitionConfig &config,
+              const std::vector<std::uint32_t> *prior)
+{
+    return stream_partition(adj, num_partitions, config,
                             StreamKind::kLdg, prior);
 }
 
@@ -206,7 +306,16 @@ fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
                  const StreamingPartitionConfig &config,
                  const std::vector<std::uint32_t> *prior)
 {
-    return stream_partition(graph, num_partitions, config,
+    return stream_partition_coo(graph, num_partitions, config,
+                                StreamKind::kFennel, prior);
+}
+
+std::vector<std::uint32_t>
+fennel_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
+                 const StreamingPartitionConfig &config,
+                 const std::vector<std::uint32_t> *prior)
+{
+    return stream_partition(adj, num_partitions, config,
                             StreamKind::kFennel, prior);
 }
 
@@ -215,7 +324,16 @@ hdrf_partition(const CooGraph &graph, std::uint32_t num_partitions,
                const StreamingPartitionConfig &config,
                const std::vector<std::uint32_t> *prior)
 {
-    return stream_partition(graph, num_partitions, config,
+    return stream_partition_coo(graph, num_partitions, config,
+                                StreamKind::kHdrf, prior);
+}
+
+std::vector<std::uint32_t>
+hdrf_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
+               const StreamingPartitionConfig &config,
+               const std::vector<std::uint32_t> *prior)
+{
+    return stream_partition(adj, num_partitions, config,
                             StreamKind::kHdrf, prior);
 }
 

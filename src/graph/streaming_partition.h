@@ -86,6 +86,16 @@ struct UndirectedCsr {
 /** Builds the symmetrized simple adjacency of a (multi)graph. */
 UndirectedCsr build_undirected_csr(const CooGraph &graph);
 
+/**
+ * Same build from any edge view — including mmap-backed FGNB columns —
+ * parallelized across host cores (threads 0 = all): per-thread-range
+ * symmetrized counts with a prefix-sum merge in thread order, a
+ * parallel stable fill, then per-row dedupe on disjoint row ranges.
+ * Bit-identical to the serial build for every thread count.
+ */
+UndirectedCsr build_undirected_csr(const GraphRef &graph,
+                                   unsigned threads = 0);
+
 /** Tuning knobs shared by the streaming partitioners. Defaults follow
  * the literature; shard_assignment uses them as-is. */
 struct StreamingPartitionConfig {
@@ -119,6 +129,19 @@ ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
               const std::vector<std::uint32_t> *prior = nullptr);
 
 /**
+ * Adjacency-reusing overload: the stream itself is inherently serial,
+ * but build_undirected_csr dominates a cold pass — callers that
+ * restream (shard_plan_assignment) or try several strategies build
+ * the adjacency once (possibly in parallel, possibly from an mmap
+ * view) and pass it to every pass. Identical output to the CooGraph
+ * overload on the same graph.
+ */
+std::vector<std::uint32_t>
+ldg_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
+              const StreamingPartitionConfig &config = {},
+              const std::vector<std::uint32_t> *prior = nullptr);
+
+/**
  * Fennel (Tsourakakis et al.): place v on the partition maximizing
  * |N(v) ∩ S_p| - alpha * gamma * |S_p|^(gamma-1), the marginal gain
  * of the interpolated objective (edges cut + alpha * sum |S_p|^gamma)
@@ -130,6 +153,12 @@ ldg_partition(const CooGraph &graph, std::uint32_t num_partitions,
  */
 std::vector<std::uint32_t>
 fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
+                 const StreamingPartitionConfig &config = {},
+                 const std::vector<std::uint32_t> *prior = nullptr);
+
+/** Adjacency-reusing overload; see ldg_partition(UndirectedCsr). */
+std::vector<std::uint32_t>
+fennel_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
                  const StreamingPartitionConfig &config = {},
                  const std::vector<std::uint32_t> *prior = nullptr);
 
@@ -147,6 +176,12 @@ fennel_partition(const CooGraph &graph, std::uint32_t num_partitions,
  */
 std::vector<std::uint32_t>
 hdrf_partition(const CooGraph &graph, std::uint32_t num_partitions,
+               const StreamingPartitionConfig &config = {},
+               const std::vector<std::uint32_t> *prior = nullptr);
+
+/** Adjacency-reusing overload; see ldg_partition(UndirectedCsr). */
+std::vector<std::uint32_t>
+hdrf_partition(const UndirectedCsr &adj, std::uint32_t num_partitions,
                const StreamingPartitionConfig &config = {},
                const std::vector<std::uint32_t> *prior = nullptr);
 

@@ -12,6 +12,15 @@ namespace {
 
 constexpr std::size_t kChunkBytes = 1 << 20; ///< 1 MiB read buffer
 
+/**
+ * Longest single line the parser will carry across chunk boundaries.
+ * A sane edge line is tens of bytes; a newline-free multi-GiB file
+ * (wrong file handed in, or binary data) would otherwise accumulate
+ * the entire file into `carry` and OOM the process instead of failing
+ * with a diagnosis.
+ */
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
 [[noreturn]] void
 fail(const std::string &path, std::size_t line,
      const std::string &reason)
@@ -64,6 +73,14 @@ class LineParser
                 const char *nl = static_cast<const char *>(
                     std::memchr(p, '\n', end - p));
                 if (!nl) {
+                    if (carry.size() + static_cast<std::size_t>(
+                                           end - p) >
+                        kMaxLineBytes)
+                        fail(path_, line_ + 1,
+                             "line exceeds " +
+                                 std::to_string(kMaxLineBytes) +
+                                 " bytes (missing newlines — is this "
+                                 "really an edge list?)");
                     carry.append(p, end);
                     break;
                 }

@@ -1,0 +1,100 @@
+#include "io/fgnb_layout.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/parallel.h"
+#include "graph/graph.h"
+
+namespace flowgnn {
+namespace io {
+
+[[noreturn]] void
+fgnb_fail(const std::string &path, const std::string &reason)
+{
+    throw GraphFileError("graph file '" + path + "': " + reason);
+}
+
+std::uint64_t
+fgnb_expected_payload_bytes(const FgnbHeader &h)
+{
+    std::uint64_t bytes = 2 * h.num_edges * sizeof(std::uint32_t);
+    if (h.flags & kFlagNodeFeatures)
+        bytes += h.num_nodes * h.node_dim * sizeof(float);
+    if (h.flags & kFlagEdgeFeatures)
+        bytes += h.num_edges * h.edge_dim * sizeof(float);
+    if (h.flags & kFlagDgnField)
+        bytes += h.num_nodes * sizeof(float);
+    if (h.flags & kFlagTrueInDeg)
+        bytes += h.num_nodes * sizeof(std::uint32_t);
+    if (h.flags & kFlagTrueOutDeg)
+        bytes += h.num_nodes * sizeof(std::uint32_t);
+    return bytes;
+}
+
+void
+fgnb_validate_header(const FgnbHeader &h, std::uint64_t file_bytes,
+                     const std::string &path)
+{
+    if (h.version != kGraphFileVersion &&
+        h.version != kGraphFileVersionChunked)
+        fgnb_fail(path,
+                  "unsupported format version " +
+                      std::to_string(h.version) + " (reader supports " +
+                      std::to_string(kGraphFileVersion) + "-" +
+                      std::to_string(kGraphFileVersionChunked) + ")");
+    if (h.header_bytes != sizeof(FgnbHeader))
+        fgnb_fail(path, "header size mismatch");
+    if (h.num_nodes > std::numeric_limits<NodeId>::max())
+        fgnb_fail(path, "num_nodes " + std::to_string(h.num_nodes) +
+                            " overflows the 32-bit node id space");
+    if (h.num_edges > std::numeric_limits<EdgeId>::max())
+        fgnb_fail(path, "num_edges " + std::to_string(h.num_edges) +
+                            " overflows the 32-bit edge id space");
+    if (h.num_pool_nodes > h.num_nodes)
+        fgnb_fail(path, "num_pool_nodes exceeds num_nodes");
+    if (h.node_dim > kMaxFeatureDim || h.edge_dim > kMaxFeatureDim)
+        fgnb_fail(path, "implausible feature dimension (corrupt "
+                        "header?)");
+    if (((h.flags & kFlagNodeFeatures) != 0) != (h.node_dim > 0))
+        fgnb_fail(path, "node-feature flag disagrees with node_dim");
+    if (((h.flags & kFlagEdgeFeatures) != 0) != (h.edge_dim > 0))
+        fgnb_fail(path, "edge-feature flag disagrees with edge_dim");
+    if (h.payload_bytes != fgnb_expected_payload_bytes(h))
+        fgnb_fail(path, "payload size disagrees with section flags");
+    if (file_bytes != sizeof(FgnbHeader) + h.payload_bytes)
+        fgnb_fail(path,
+                  file_bytes < sizeof(FgnbHeader) + h.payload_bytes
+                      ? "truncated file (payload shorter than header "
+                        "promises)"
+                      : "trailing bytes after payload");
+}
+
+std::uint64_t
+fgnb_chunked_checksum(const void *payload, std::uint64_t bytes,
+                      unsigned threads)
+{
+    const unsigned char *base =
+        static_cast<const unsigned char *>(payload);
+    const std::size_t chunks = static_cast<std::size_t>(
+        (bytes + kChecksumChunkBytes - 1) / kChecksumChunkBytes);
+    std::vector<std::uint64_t> digests(chunks);
+    parallel_ranges(
+        chunks, threads,
+        [&](std::size_t b, std::size_t end, unsigned) {
+            for (std::size_t c = b; c < end; ++c) {
+                const std::uint64_t off = c * kChecksumChunkBytes;
+                const std::uint64_t len =
+                    std::min(kChecksumChunkBytes, bytes - off);
+                digests[c] =
+                    fnv1a64(base + off, static_cast<std::size_t>(len));
+            }
+        },
+        /*serial_cutoff=*/2);
+    return fnv1a64(digests.data(),
+                   digests.size() * sizeof(std::uint64_t));
+}
+
+} // namespace io
+} // namespace flowgnn

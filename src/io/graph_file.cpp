@@ -3,9 +3,12 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
-#include <limits>
 #include <memory>
 #include <vector>
+
+#include "core/parallel.h"
+#include "io/fgnb_layout.h"
+#include "io/graph_view.h"
 
 namespace flowgnn {
 
@@ -31,36 +34,9 @@ fnv1a64(const void *data, std::size_t bytes, std::uint64_t seed)
 
 namespace {
 
+using io::FgnbHeader;
+using io::fgnb_fail;
 using io::fnv1a64;
-
-/**
- * The fixed 88-byte header. Every field is little-endian; reserved
- * words are written as zero and ignored on read (the version-bump
- * escape hatch for additions that do not change section layout).
- */
-struct Header {
-    std::uint32_t magic = io::kGraphFileMagic;
-    std::uint32_t version = io::kGraphFileVersion;
-    std::uint32_t header_bytes = sizeof(Header);
-    std::uint32_t flags = 0;
-    std::uint64_t num_nodes = 0;
-    std::uint64_t num_edges = 0;
-    std::uint64_t node_dim = 0;
-    std::uint64_t edge_dim = 0;
-    std::uint64_t num_pool_nodes = 0;
-    float label = 0.0f;
-    std::uint32_t reserved0 = 0;
-    std::uint64_t payload_bytes = 0;
-    std::uint64_t payload_checksum = 0;
-    std::uint64_t reserved1 = 0;
-};
-static_assert(sizeof(Header) == 88, "FGNB v1 header is 88 bytes");
-
-[[noreturn]] void
-fail(const std::string &path, const std::string &reason)
-{
-    throw GraphFileError("graph file '" + path + "': " + reason);
-}
 
 struct FileCloser {
     void
@@ -72,39 +48,16 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-/**
- * Upper bound on feature dims the format accepts (per row, floats).
- * Real models use 16-100; the bound exists so a hostile header cannot
- * pick dims whose num_nodes * dim * 4 product wraps uint64 and sneaks
- * a zero payload_bytes past the size/checksum checks while Matrix
- * under-allocates (rows() would lie about the backing store).
- */
-constexpr std::uint64_t kMaxFeatureDim = 1u << 20;
-
-/** Payload section sizes implied by a header, in emission order.
- * Never overflows: callers have bounded num_nodes/num_edges to 2^32
- * and dims to kMaxFeatureDim, so every term fits in 2^55. */
-std::uint64_t
-expected_payload_bytes(const Header &h)
-{
-    std::uint64_t bytes = 2 * h.num_edges * sizeof(std::uint32_t);
-    if (h.flags & io::kFlagNodeFeatures)
-        bytes += h.num_nodes * h.node_dim * sizeof(float);
-    if (h.flags & io::kFlagEdgeFeatures)
-        bytes += h.num_edges * h.edge_dim * sizeof(float);
-    if (h.flags & io::kFlagDgnField)
-        bytes += h.num_nodes * sizeof(float);
-    if (h.flags & io::kFlagTrueInDeg)
-        bytes += h.num_nodes * sizeof(std::uint32_t);
-    if (h.flags & io::kFlagTrueOutDeg)
-        bytes += h.num_nodes * sizeof(std::uint32_t);
-    return bytes;
-}
-
+/** Bulk section writer. For v1 it folds a running FNV over everything
+ * written; for v2 checksumming happens afterwards over the mapped
+ * file, so the fold is skipped. */
 class Writer
 {
   public:
-    Writer(std::FILE *f, const std::string &path) : f_(f), path_(path) {}
+    Writer(std::FILE *f, const std::string &path, bool fold_checksum)
+        : f_(f), path_(path), fold_(fold_checksum)
+    {
+    }
 
     void
     write(const void *data, std::size_t bytes)
@@ -112,8 +65,9 @@ class Writer
         if (bytes == 0)
             return;
         if (std::fwrite(data, 1, bytes, f_) != bytes)
-            fail(path_, "write failed (disk full?)");
-        checksum_ = fnv1a64(data, bytes, checksum_);
+            fgnb_fail(path_, "write failed (disk full?)");
+        if (fold_)
+            checksum_ = fnv1a64(data, bytes, checksum_);
         written_ += bytes;
     }
 
@@ -123,46 +77,29 @@ class Writer
   private:
     std::FILE *f_;
     const std::string &path_;
+    bool fold_;
     std::uint64_t checksum_ = 0xCBF29CE484222325ull;
     std::uint64_t written_ = 0;
-};
-
-class Reader
-{
-  public:
-    Reader(std::FILE *f, const std::string &path) : f_(f), path_(path) {}
-
-    void
-    read(void *data, std::size_t bytes)
-    {
-        if (bytes == 0)
-            return;
-        if (std::fread(data, 1, bytes, f_) != bytes)
-            fail(path_, "truncated file (payload shorter than header "
-                        "promises)");
-        checksum_ = fnv1a64(data, bytes, checksum_);
-    }
-
-    std::uint64_t checksum() const { return checksum_; }
-
-  private:
-    std::FILE *f_;
-    const std::string &path_;
-    std::uint64_t checksum_ = 0xCBF29CE484222325ull;
 };
 
 } // namespace
 
 void
-GraphFile::save(const std::string &path, const GraphSample &sample)
+GraphFile::save(const std::string &path, const GraphSample &sample,
+                const GraphSaveOptions &opts)
 {
+    if (opts.version != io::kGraphFileVersion &&
+        opts.version != io::kGraphFileVersionChunked)
+        fgnb_fail(path, "cannot write format version " +
+                            std::to_string(opts.version));
     if (!sample.consistent())
-        fail(path, "refusing to save an inconsistent GraphSample");
-    if (sample.node_features.cols() > kMaxFeatureDim ||
-        sample.edge_features.cols() > kMaxFeatureDim)
-        fail(path, "feature dimension too large for FGNB");
+        fgnb_fail(path, "refusing to save an inconsistent GraphSample");
+    if (sample.node_features.cols() > io::kMaxFeatureDim ||
+        sample.edge_features.cols() > io::kMaxFeatureDim)
+        fgnb_fail(path, "feature dimension too large for FGNB");
 
-    Header h;
+    FgnbHeader h;
+    h.version = opts.version;
     h.num_nodes = sample.graph.num_nodes;
     h.num_edges = sample.graph.num_edges();
     h.num_pool_nodes = sample.num_pool_nodes;
@@ -181,31 +118,39 @@ GraphFile::save(const std::string &path, const GraphSample &sample)
         h.flags |= io::kFlagTrueInDeg;
     if (!sample.true_out_deg.empty())
         h.flags |= io::kFlagTrueOutDeg;
-    h.payload_bytes = expected_payload_bytes(h);
+    h.payload_bytes = io::fgnb_expected_payload_bytes(h);
 
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        fail(path, "cannot open for writing");
+        fgnb_fail(path, "cannot open for writing");
 
     // Header slot first (rewritten with the final checksum at the
     // end, so a crash mid-write leaves a file whose checksum cannot
     // verify instead of one that silently half-loads).
-    Header placeholder = h;
+    FgnbHeader placeholder = h;
     placeholder.payload_checksum = 0;
     if (std::fwrite(&placeholder, 1, sizeof placeholder, f.get()) !=
         sizeof placeholder)
-        fail(path, "write failed (disk full?)");
+        fgnb_fail(path, "write failed (disk full?)");
+
+    const bool chunked = opts.version == io::kGraphFileVersionChunked;
 
     // Edge endpoints as two columns: one bulk write each, and the
-    // natural layout for a loader that streams src[] then dst[].
+    // natural layout for an mmap reader that views src[] then dst[].
     const std::size_t e = sample.graph.num_edges();
     std::vector<std::uint32_t> column(e);
-    Writer w(f.get(), path);
-    for (std::size_t i = 0; i < e; ++i)
-        column[i] = sample.graph.edges[i].src;
+    Writer w(f.get(), path, /*fold_checksum=*/!chunked);
+    parallel_ranges(e, opts.threads,
+                    [&](std::size_t b, std::size_t end, unsigned) {
+                        for (std::size_t i = b; i < end; ++i)
+                            column[i] = sample.graph.edges[i].src;
+                    });
     w.write(column.data(), e * sizeof(std::uint32_t));
-    for (std::size_t i = 0; i < e; ++i)
-        column[i] = sample.graph.edges[i].dst;
+    parallel_ranges(e, opts.threads,
+                    [&](std::size_t b, std::size_t end, unsigned) {
+                        for (std::size_t i = b; i < end; ++i)
+                            column[i] = sample.graph.edges[i].dst;
+                    });
     w.write(column.data(), e * sizeof(std::uint32_t));
 
     if (h.flags & io::kFlagNodeFeatures)
@@ -225,124 +170,76 @@ GraphFile::save(const std::string &path, const GraphSample &sample)
                 sample.true_out_deg.size() * sizeof(std::uint32_t));
 
     if (w.written() != h.payload_bytes)
-        fail(path, "internal error: payload size mismatch");
-    h.payload_checksum = w.checksum();
+        fgnb_fail(path, "internal error: payload size mismatch");
+    if (std::fflush(f.get()) != 0)
+        fgnb_fail(path, "flush failed (disk full?)");
+
+    if (chunked) {
+        // v2: checksum the payload from a fresh mapping of the flushed
+        // file, one 64 MiB chunk per digest, all host cores.
+        io::MappedFile m(path);
+        if (m.size() != sizeof h + h.payload_bytes)
+            fgnb_fail(path, "internal error: flushed size mismatch");
+        h.payload_checksum = io::fgnb_chunked_checksum(
+            m.data() + sizeof h, h.payload_bytes, opts.threads);
+    } else {
+        h.payload_checksum = w.checksum();
+    }
+
     if (std::fseek(f.get(), 0, SEEK_SET) != 0 ||
         std::fwrite(&h, 1, sizeof h, f.get()) != sizeof h)
-        fail(path, "write failed while finalizing header");
+        fgnb_fail(path, "write failed while finalizing header");
     if (std::fflush(f.get()) != 0)
-        fail(path, "flush failed (disk full?)");
+        fgnb_fail(path, "flush failed (disk full?)");
 }
 
 GraphSample
-GraphFile::load(const std::string &path)
+GraphFile::load(const std::string &path, unsigned threads)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fail(path, "cannot open for reading");
-
-    Header h;
-    std::size_t got = std::fread(&h, 1, sizeof h, f.get());
-    if (got < sizeof(std::uint32_t) || h.magic != io::kGraphFileMagic)
-        fail(path, "bad magic (not an FGNB graph file)");
-    if (got != sizeof h)
-        fail(path, "truncated header");
-    if (h.version != io::kGraphFileVersion)
-        fail(path, "unsupported format version " +
-                       std::to_string(h.version) + " (reader supports " +
-                       std::to_string(io::kGraphFileVersion) + ")");
-    if (h.header_bytes != sizeof h)
-        fail(path, "header size mismatch");
-    if (h.num_nodes > std::numeric_limits<NodeId>::max())
-        fail(path, "num_nodes " + std::to_string(h.num_nodes) +
-                       " overflows the 32-bit node id space");
-    if (h.num_edges > std::numeric_limits<EdgeId>::max())
-        fail(path, "num_edges " + std::to_string(h.num_edges) +
-                       " overflows the 32-bit edge id space");
-    if (h.num_pool_nodes > h.num_nodes)
-        fail(path, "num_pool_nodes exceeds num_nodes");
-    if (h.node_dim > kMaxFeatureDim || h.edge_dim > kMaxFeatureDim)
-        fail(path, "implausible feature dimension (corrupt header?)");
-    if (((h.flags & io::kFlagNodeFeatures) != 0) != (h.node_dim > 0))
-        fail(path, "node-feature flag disagrees with node_dim");
-    if (((h.flags & io::kFlagEdgeFeatures) != 0) != (h.edge_dim > 0))
-        fail(path, "edge-feature flag disagrees with edge_dim");
-    if (h.payload_bytes != expected_payload_bytes(h))
-        fail(path, "payload size disagrees with section flags");
-
-    // Header vs reality: a truncated (or padded) file is diagnosed
-    // before any section read touches memory sized from the header.
-    if (std::fseek(f.get(), 0, SEEK_END) != 0)
-        fail(path, "seek failed");
-    long end = std::ftell(f.get());
-    if (end < 0)
-        fail(path, "tell failed");
-    if (static_cast<std::uint64_t>(end) !=
-        sizeof h + h.payload_bytes)
-        fail(path, static_cast<std::uint64_t>(end) <
-                           sizeof h + h.payload_bytes
-                       ? "truncated file (payload shorter than header "
-                         "promises)"
-                       : "trailing bytes after payload");
-    if (std::fseek(f.get(), sizeof h, SEEK_SET) != 0)
-        fail(path, "seek failed");
+    io::GraphView v(path, {.threads = threads});
 
     GraphSample s;
-    s.graph.num_nodes = static_cast<NodeId>(h.num_nodes);
-    s.num_pool_nodes = static_cast<NodeId>(h.num_pool_nodes);
-    s.label = h.label;
+    s.graph.num_nodes = v.num_nodes();
+    s.num_pool_nodes = v.num_pool_nodes();
+    s.label = v.label();
 
-    Reader r(f.get(), path);
-    const std::size_t e = static_cast<std::size_t>(h.num_edges);
-    std::vector<std::uint32_t> src(e), dst(e);
-    r.read(src.data(), e * sizeof(std::uint32_t));
-    r.read(dst.data(), e * sizeof(std::uint32_t));
+    const std::size_t e = v.num_edges();
+    const std::size_t n = v.num_nodes();
+    const std::uint32_t *src = v.src();
+    const std::uint32_t *dst = v.dst();
     s.graph.edges.resize(e);
-    for (std::size_t i = 0; i < e; ++i) {
-        if (src[i] >= h.num_nodes || dst[i] >= h.num_nodes)
-            fail(path, "edge " + std::to_string(i) + " endpoint (" +
-                           std::to_string(src[i]) + ", " +
-                           std::to_string(dst[i]) +
-                           ") out of range for " +
-                           std::to_string(h.num_nodes) + " nodes");
-        s.graph.edges[i] = {src[i], dst[i]};
-    }
-    src.clear();
-    src.shrink_to_fit();
-    dst.clear();
-    dst.shrink_to_fit();
+    parallel_ranges(e, threads,
+                    [&](std::size_t b, std::size_t end, unsigned) {
+                        for (std::size_t i = b; i < end; ++i)
+                            s.graph.edges[i] = {src[i], dst[i]};
+                    });
 
     // Always shaped [num_nodes x node_dim] — consistent() requires a
     // row per node even when no features are stored (node_dim 0).
-    s.node_features = Matrix(static_cast<std::size_t>(h.num_nodes),
-                             static_cast<std::size_t>(h.node_dim));
-    if (h.flags & io::kFlagNodeFeatures)
-        r.read(s.node_features.data(),
-               s.node_features.size() * sizeof(float));
-    if (h.flags & io::kFlagEdgeFeatures) {
-        s.edge_features =
-            Matrix(e, static_cast<std::size_t>(h.edge_dim));
-        r.read(s.edge_features.data(),
-               s.edge_features.size() * sizeof(float));
+    s.node_features = Matrix(n, v.node_dim());
+    if (v.node_features())
+        std::memcpy(s.node_features.data(), v.node_features(),
+                    s.node_features.size() * sizeof(float));
+    if (v.edge_features()) {
+        s.edge_features = Matrix(e, v.edge_dim());
+        std::memcpy(s.edge_features.data(), v.edge_features(),
+                    s.edge_features.size() * sizeof(float));
     }
-    if (h.flags & io::kFlagDgnField) {
-        s.dgn_field.resize(static_cast<std::size_t>(h.num_nodes));
-        r.read(s.dgn_field.data(), s.dgn_field.size() * sizeof(float));
+    if (v.dgn_field()) {
+        s.dgn_field.resize(n);
+        std::memcpy(s.dgn_field.data(), v.dgn_field(),
+                    n * sizeof(float));
     }
-    if (h.flags & io::kFlagTrueInDeg) {
-        s.true_in_deg.resize(static_cast<std::size_t>(h.num_nodes));
-        r.read(s.true_in_deg.data(),
-               s.true_in_deg.size() * sizeof(std::uint32_t));
+    if (v.true_in_deg()) {
+        s.true_in_deg.resize(n);
+        std::memcpy(s.true_in_deg.data(), v.true_in_deg(),
+                    n * sizeof(std::uint32_t));
     }
-    if (h.flags & io::kFlagTrueOutDeg) {
-        s.true_out_deg.resize(static_cast<std::size_t>(h.num_nodes));
-        r.read(s.true_out_deg.data(),
-               s.true_out_deg.size() * sizeof(std::uint32_t));
+    if (v.true_out_deg()) {
+        s.true_out_deg.resize(n);
+        std::memcpy(s.true_out_deg.data(), v.true_out_deg(),
+                    n * sizeof(std::uint32_t));
     }
-
-    if (r.checksum() != h.payload_checksum)
-        fail(path, "payload checksum mismatch (corrupt or "
-                   "partially-written file)");
     return s;
 }
 

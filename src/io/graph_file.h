@@ -41,8 +41,9 @@ namespace io {
 
 /** First four bytes of every FGNB file: "FGNB". */
 inline constexpr std::uint32_t kGraphFileMagic = 0x424E4746u;
-/** Current (and only) format version. Readers reject anything else;
- * future versions bump this and extend the header tail. */
+/** Original format version: linear FNV-1a payload checksum. Readers
+ * accept v1 and v2 (see io/fgnb_layout.h for the v2 chunked-checksum
+ * spec); the writer defaults to v2. */
 inline constexpr std::uint32_t kGraphFileVersion = 1;
 
 /** Section-presence bits in the header's flags word. The two degree
@@ -68,6 +69,14 @@ std::uint64_t fnv1a64(const void *data, std::size_t bytes,
 
 } // namespace io
 
+/** Writer knobs for GraphFile::save. */
+struct GraphSaveOptions {
+    /** Format version to emit: 2 (chunked checksum, default) or 1. */
+    std::uint32_t version = 2;
+    /** Host threads for the v2 checksum; 0 = all cores. */
+    unsigned threads = 0;
+};
+
 /**
  * The FGNB binary cache of one GraphSample. Free functions rather
  * than a class: the file has no open state worth holding.
@@ -78,19 +87,25 @@ struct GraphFile {
      * for whichever optional parts the sample carries (node/edge
      * features, DGN field, true-degree overrides); edge endpoints and
      * the header scalars (label, num_pool_nodes) are always stored.
-     * Throws GraphFileError on any I/O failure.
+     * Defaults to format v2 (chunked checksum, computed in parallel
+     * over the written file); pass {.version = 1} for the legacy
+     * linear checksum. Throws GraphFileError on any I/O failure.
      */
-    static void save(const std::string &path, const GraphSample &sample);
+    static void save(const std::string &path, const GraphSample &sample,
+                     const GraphSaveOptions &opts = {});
 
     /**
-     * Reads a sample back, bit-identical to what save() was given.
-     * Throws GraphFileError on: unopenable path, short/bad-magic/
-     * unknown-version header, header inconsistent with the actual
-     * file size (truncated or padded), num_nodes exceeding the 32-bit
-     * NodeId space, any edge endpoint >= num_nodes, or a payload
-     * checksum mismatch.
+     * Reads a sample back, bit-identical to what save() was given —
+     * either version. Throws GraphFileError on: unopenable path,
+     * short/bad-magic/unknown-version header, header inconsistent
+     * with the actual file size (truncated or padded), num_nodes
+     * exceeding the 32-bit NodeId space, any edge endpoint >=
+     * num_nodes, or a payload checksum mismatch. Implemented over
+     * io::GraphView, so validation, checksum, and section copies run
+     * on `threads` host cores (0 = all).
      */
-    static GraphSample load(const std::string &path);
+    static GraphSample load(const std::string &path,
+                            unsigned threads = 0);
 };
 
 } // namespace flowgnn

@@ -22,8 +22,7 @@ DgnLayer::message(const Vec &x_src, const float *edge_feat,
                   std::size_t edge_dim, NodeId src, NodeId dst,
                   const LayerContext &ctx) const
 {
-    const auto &sample = *ctx.sample;
-    if (sample.dgn_field.empty())
+    if (ctx.dgn_field == nullptr)
         throw std::invalid_argument("DgnLayer: sample has no dgn_field");
 
     Vec m = x_src;
@@ -34,7 +33,7 @@ DgnLayer::message(const Vec &x_src, const float *edge_feat,
 
     // Directional weight from the vector field, normalized at the
     // destination (anisotropic: depends on both endpoints).
-    float w = (sample.dgn_field[src] - sample.dgn_field[dst]) /
+    float w = (ctx.dgn_field[src] - ctx.dgn_field[dst]) /
               ctx.dgn_norm[dst];
 
     Vec msg;

@@ -8,22 +8,36 @@ namespace flowgnn {
 LayerContext
 make_layer_context(const GraphSample &sample, const PnaParams &pna)
 {
+    return make_layer_context(SampleRef(sample), pna, 1);
+}
+
+LayerContext
+make_layer_context(const SampleRef &sample, const PnaParams &pna,
+                   unsigned threads)
+{
     LayerContext ctx;
-    ctx.sample = &sample;
+    ctx.dgn_field = sample.dgn_field;
+    const NodeId n = sample.num_nodes();
     // Subgraph execution (multi-die sharding) supplies the full
     // graph's degrees alongside the features; otherwise count edges.
-    ctx.in_deg = sample.true_in_deg.empty() ? sample.graph.in_degrees()
-                                            : sample.true_in_deg;
-    ctx.out_deg = sample.true_out_deg.empty()
-                      ? sample.graph.out_degrees()
-                      : sample.true_out_deg;
+    if (sample.true_in_deg != nullptr)
+        ctx.in_deg.assign(sample.true_in_deg, sample.true_in_deg + n);
+    else
+        ctx.in_deg = sample.graph.in_degrees(threads);
+    if (sample.true_out_deg != nullptr)
+        ctx.out_deg.assign(sample.true_out_deg,
+                           sample.true_out_deg + n);
+    else
+        ctx.out_deg = sample.graph.out_degrees(threads);
     ctx.pna = pna;
 
-    if (!sample.dgn_field.empty()) {
-        ctx.dgn_norm.assign(sample.num_nodes(), 1e-6f);
-        for (const auto &e : sample.graph.edges) {
-            float du = sample.dgn_field[e.src] - sample.dgn_field[e.dst];
-            ctx.dgn_norm[e.dst] += std::abs(du);
+    if (sample.dgn_field != nullptr) {
+        const float *u = sample.dgn_field;
+        ctx.dgn_norm.assign(n, 1e-6f);
+        const std::size_t e = sample.num_edges();
+        for (std::size_t i = 0; i < e; ++i) {
+            float du = u[sample.graph.src(i)] - u[sample.graph.dst(i)];
+            ctx.dgn_norm[sample.graph.dst(i)] += std::abs(du);
         }
     }
     return ctx;

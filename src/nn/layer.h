@@ -38,7 +38,11 @@ enum class DataflowKind {
  * pre-processing (no reordering or partition analysis).
  */
 struct LayerContext {
-    const GraphSample *sample = nullptr;
+    /** Per-node DGN scalar field (num_nodes entries), or null when the
+     * sample carries none. A raw pointer rather than the whole sample:
+     * the context must not pin a GraphSample when the engine runs off
+     * a borrowed SampleRef (mmap-backed graphs). */
+    const float *dgn_field = nullptr;
     std::vector<std::uint32_t> in_deg;
     std::vector<std::uint32_t> out_deg;
     /** Per-node sum of |u_j - u_i| over in-neighbors j (+eps), DGN. */
@@ -50,6 +54,17 @@ struct LayerContext {
 /** Builds the LayerContext for a sample (one pass over the edges). */
 LayerContext make_layer_context(const GraphSample &sample,
                                 const PnaParams &pna = {});
+
+/**
+ * SampleRef overload, the canonical build. Degree counting runs on
+ * `threads` host cores (0 = all); the dgn_norm accumulation stays a
+ * serial edge loop on purpose — float addition order is part of the
+ * bit-identity contract. The context borrows the ref's dgn_field
+ * pointer, so the backing must outlive the context.
+ */
+LayerContext make_layer_context(const SampleRef &sample,
+                                const PnaParams &pna = {},
+                                unsigned threads = 0);
 
 /**
  * Base class of all FlowGNN layer kernels.

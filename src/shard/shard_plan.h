@@ -202,6 +202,19 @@ ShardPlan make_shard_plan(const Model &model, const GraphSample &prepared,
                           const ShardConfig &config);
 
 /**
+ * SampleRef overload, the canonical planner: works off a borrowed view
+ * (notably io::GraphView::sample for mmap-backed graphs), so planning
+ * a full-scale graph never materializes a second in-memory copy of it.
+ * `threads` parallelizes the host-side stages — the adjacency builds,
+ * the degree counts, and the per-shard closure/extraction loop (each
+ * worker carries its own local-id scratch) — with results bit-identical
+ * to the serial plan for every thread count (0 = all cores). The ref's
+ * backing must stay alive for the duration of the call.
+ */
+ShardPlan make_shard_plan(const Model &model, const SampleRef &prepared,
+                          const ShardConfig &config, unsigned threads = 0);
+
+/**
  * The node -> shard assignment a plan for `config` would use:
  * shard_assignment under the configured strategy, plus
  * `config.restream_passes` prior-seeded restreaming refinement passes
@@ -212,6 +225,18 @@ std::vector<std::uint32_t> shard_plan_assignment(const CooGraph &graph,
                                                  const ShardConfig &config);
 
 /**
+ * GraphRef overload, the canonical implementation. For the
+ * adjacency-driven strategies (LDG/Fennel/HDRF/BFS) the undirected CSR
+ * is built ONCE and reused across every restreaming pass — previously
+ * each pass rebuilt it from scratch, which dominated multi-pass
+ * partitioning on large graphs. Assignments are bit-identical to the
+ * CooGraph overload for every thread count.
+ */
+std::vector<std::uint32_t> shard_plan_assignment(const GraphRef &graph,
+                                                 const ShardConfig &config,
+                                                 unsigned threads = 0);
+
+/**
  * Merges per-slice engine results (same order as plan.slices) into the
  * single-graph answer: owned-node embeddings, pooled head prediction,
  * and composed multi-die RunStats (overlap mode per `link.overlap`).
@@ -219,6 +244,13 @@ std::vector<std::uint32_t> shard_plan_assignment(const CooGraph &graph,
  */
 ShardedRunResult merge_shard_results(const Model &model,
                                      const GraphSample &prepared,
+                                     ShardPlan &&plan,
+                                     std::vector<RunResult> &&results,
+                                     const LinkConfig &link);
+
+/** SampleRef overload (canonical; the GraphSample one delegates). */
+ShardedRunResult merge_shard_results(const Model &model,
+                                     const SampleRef &prepared,
                                      ShardPlan &&plan,
                                      std::vector<RunResult> &&results,
                                      const LinkConfig &link);

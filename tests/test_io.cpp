@@ -313,7 +313,52 @@ TEST(GraphFileTest, RejectsCorruptPayload)
     expect_load_error(tmp.path("g.fgnb"), "checksum mismatch");
 }
 
+TEST(GraphFileTest, WriterEmitsRequestedVersion)
+{
+    // The writer defaults to v2 (chunked checksum); {.version = 1}
+    // keeps emitting the legacy linear checksum. Both must reload
+    // bit-identically, and the version byte (offset 4) is pinned so a
+    // default change cannot slip through unnoticed.
+    TempDir tmp;
+    GraphSample s = make_full_sample();
+    GraphFile::save(tmp.path("v2.fgnb"), s);
+    GraphFile::save(tmp.path("v1.fgnb"), s, {.version = 1});
+    EXPECT_EQ(read_bytes(tmp.path("v2.fgnb"))[4], 2);
+    EXPECT_EQ(read_bytes(tmp.path("v1.fgnb"))[4], 1);
+    expect_bit_identical(s, GraphFile::load(tmp.path("v2.fgnb")));
+    expect_bit_identical(s, GraphFile::load(tmp.path("v1.fgnb")));
+}
+
+TEST(GraphFileTest, LoadIsThreadCountInvariant)
+{
+    TempDir tmp;
+    GraphSample s = make_full_sample();
+    GraphFile::save(tmp.path("g.fgnb"), s);
+    for (unsigned t : {1u, 2u, 4u})
+        expect_bit_identical(s, GraphFile::load(tmp.path("g.fgnb"), t));
+}
+
 // ---- SNAP text parser -------------------------------------------------
+
+TEST(EdgeListTest, RejectsNewlineFreeFileInsteadOfBuffering)
+{
+    // Regression: the chunk parser used to append partial lines to its
+    // carry buffer without bound, so a binary or newline-free file
+    // (typically a wrong path handed to --graph-file) accumulated the
+    // whole input in RAM before failing on the first "line". The carry
+    // is now capped at 1 MiB and the failure names line 1.
+    TempDir tmp;
+    std::string blob(2u << 20, '7'); // 2 MiB, not a single newline
+    write_text(tmp.path("blob.txt"), blob);
+    try {
+        parse_snap_edge_list(tmp.path("blob.txt"));
+        FAIL() << "expected GraphFileError";
+    } catch (const GraphFileError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("exceeds"), std::string::npos) << what;
+    }
+}
 
 TEST(EdgeListTest, SnapParsesCommentsBlanksCrlfAndDuplicates)
 {
