@@ -9,7 +9,12 @@
  *
  *   ./bench_host_speed --graph-file PATH [--json PATH] [--threads T]
  *                      [--shards P] [--strategy NAME] [--restream N]
- *                      [--compare-in-memory]
+ *                      [--compare-in-memory] [--trace PATH]
+ *                      [--metrics PATH]
+ *
+ * --trace captures the run as a Chrome trace (io/shard/ghost spans +
+ * the modeled per-die timeline); --metrics dumps the metrics registry
+ * (.prom -> Prometheus text, else JSON).
  *
  * Stages (each row reports seconds, VmRSS after the stage, and the
  * process-lifetime VmHWM):
@@ -45,30 +50,12 @@
 #include "ghost/ghost_engine.h"
 #include "io/graph_view.h"
 #include "io/load.h"
+#include "obs/stage_profile.h"
+#include "obs/trace_session.h"
 
 namespace {
 
 using namespace flowgnn;
-
-/** VmRSS / VmHWM in KiB from /proc/self/status (0 when unavailable). */
-long
-proc_status_kb(const char *key)
-{
-    std::ifstream is("/proc/self/status");
-    std::string line;
-    const std::size_t key_len = std::strlen(key);
-    while (std::getline(is, line))
-        if (line.compare(0, key_len, key) == 0)
-            return std::atol(line.c_str() + key_len + 1);
-    return 0;
-}
-
-struct Stage {
-    std::string name;
-    double seconds = 0.0;
-    long rss_kb = 0; ///< VmRSS after the stage
-    long hwm_kb = 0; ///< VmHWM (lifetime peak) after the stage
-};
 
 double
 mb(long kb)
@@ -83,6 +70,8 @@ main(int argc, char **argv)
 {
     std::string graph_file;
     std::string json_path;
+    std::string trace_path;
+    std::string metrics_path;
     unsigned threads = 0;
     std::uint32_t shards = 8;
     std::uint32_t restream = 3;
@@ -93,6 +82,10 @@ main(int argc, char **argv)
             graph_file = argv[++a];
         else if (!std::strcmp(argv[a], "--json") && a + 1 < argc)
             json_path = argv[++a];
+        else if (!std::strcmp(argv[a], "--trace") && a + 1 < argc)
+            trace_path = argv[++a];
+        else if (!std::strcmp(argv[a], "--metrics") && a + 1 < argc)
+            metrics_path = argv[++a];
         else if (!std::strcmp(argv[a], "--threads") && a + 1 < argc)
             threads = static_cast<unsigned>(std::atoll(argv[++a]));
         else if (!std::strcmp(argv[a], "--shards") && a + 1 < argc)
@@ -115,7 +108,8 @@ main(int argc, char **argv)
                 "usage: bench_host_speed --graph-file PATH "
                 "[--json PATH] [--threads T] [--shards P] "
                 "[--strategy NAME] [--restream N] "
-                "[--compare-in-memory]\n");
+                "[--compare-in-memory] [--trace PATH] "
+                "[--metrics PATH]\n");
             return 1;
         }
     }
@@ -125,18 +119,17 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::vector<Stage> stages;
+    std::unique_ptr<obs::TraceSession> session;
+    if (!trace_path.empty()) {
+        session = std::make_unique<obs::TraceSession>();
+        session->install();
+    }
+
+    obs::StageProfiler profiler(obs::MetricsRegistry::global());
     const auto t_start = std::chrono::steady_clock::now();
     auto timed = [&](const char *name, auto &&fn) {
-        const auto t0 = std::chrono::steady_clock::now();
-        fn();
-        const auto t1 = std::chrono::steady_clock::now();
-        Stage s;
-        s.name = name;
-        s.seconds = std::chrono::duration<double>(t1 - t0).count();
-        s.rss_kb = proc_status_kb("VmRSS:");
-        s.hwm_kb = proc_status_kb("VmHWM:");
-        stages.push_back(s);
+        profiler.stage(name, fn);
+        const obs::StageProfile &s = profiler.stages().back();
         std::printf("%-10s %9.3f s   rss %8.1f MB   peak %8.1f MB\n",
                     name, s.seconds, mb(s.rss_kb), mb(s.hwm_kb));
         std::fflush(stdout);
@@ -204,7 +197,7 @@ main(int argc, char **argv)
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t_start)
                 .count();
-        const long peak_kb = proc_status_kb("VmHWM:");
+        const long peak_kb = obs::read_memory_stats().hwm_kb;
         std::printf("%-10s %9.3f s   peak %8.1f MB\n", "total",
                     total_seconds, mb(peak_kb));
 
@@ -267,17 +260,29 @@ main(int argc, char **argv)
                << (compare_in_memory ? (match ? "\"bit-identical\""
                                               : "\"MISMATCH\"")
                                      : "null")
-               << ",\n  \"stages\": [\n";
-            for (std::size_t i = 0; i < stages.size(); ++i) {
-                const Stage &s = stages[i];
-                os << "    {\"stage\": \"" << s.name
-                   << "\", \"seconds\": " << s.seconds
-                   << ", \"rss_mb\": " << mb(s.rss_kb)
-                   << ", \"peak_rss_mb\": " << mb(s.hwm_kb) << "}"
-                   << (i + 1 < stages.size() ? "," : "") << "\n";
-            }
-            os << "  ]\n}\n";
+               << ",\n  \"stages\": ";
+            profiler.write_json_array(os, "    ");
+            os << "\n}\n";
             std::printf("\nwrote %s\n", json_path.c_str());
+        }
+
+        if (session) {
+            std::ofstream os(trace_path);
+            session->write_chrome_trace(os);
+            std::printf("wrote Chrome trace %s (%zu records)\n",
+                        trace_path.c_str(), session->recorded());
+        }
+        if (!metrics_path.empty()) {
+            obs::MetricsSnapshot snap =
+                obs::MetricsRegistry::global()->snapshot();
+            std::ofstream os(metrics_path);
+            if (metrics_path.size() >= 5 &&
+                metrics_path.compare(metrics_path.size() - 5, 5,
+                                     ".prom") == 0)
+                snap.write_prometheus(os);
+            else
+                snap.write_json(os);
+            std::printf("wrote metrics %s\n", metrics_path.c_str());
         }
 
         return match ? 0 : 2;

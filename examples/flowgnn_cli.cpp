@@ -5,16 +5,27 @@
  * Spins up a flowgnn::serve InferenceService (N engine replicas
  * behind a bounded queue), streams graphs through it, and prints
  * latency, utilization, and service telemetry; with --dse it instead
- * searches for the fastest configuration that fits the Alveo U50.
+ * searches for the fastest configuration that fits the Alveo U50;
+ * with --graph-file it runs one sharded-from-disk graph through a
+ * PoolScheduler ghost-exchange job.
+ *
+ * Observability: --trace FILE captures the whole run as a Chrome
+ * trace (open in Perfetto: every subsystem is a process row, with
+ * the engine's cycle-domain unit trace merged onto the same wall
+ * timeline); --metrics FILE dumps the shared metrics registry, as
+ * Prometheus text when FILE ends in .prom, JSON otherwise.
  *
  * Examples:
  *   flowgnn_cli --model gin --dataset molhiv --graphs 100
  *   flowgnn_cli --model gat --dataset hep --pnode 4 --pedge 8
  *   flowgnn_cli --model gcn --dataset molhiv --replicas 4
  *   flowgnn_cli --model pna --dataset molhiv --dse
+ *   flowgnn_cli --model gcn16 --graph-file g.fgnb --shards 4 \
+ *       --trace run.json --metrics run.prom
  */
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <fstream>
@@ -23,7 +34,11 @@
 
 #include "serve/stream.h"
 #include "core/trace.h"
+#include "io/load.h"
+#include "obs/stage_profile.h"
+#include "obs/trace_session.h"
 #include "perf/dse.h"
+#include "pool/scheduler.h"
 #include "serve/service.h"
 
 using namespace flowgnn;
@@ -39,7 +54,34 @@ struct CliOptions {
     bool run_dse = false;
     bool balanced_banks = false;
     std::string trace_path;
+    std::string metrics_path;
+    std::string graph_file;
+    std::uint32_t shards = 4;
 };
+
+/** Dumps the shared registry: Prometheus text for .prom, else JSON. */
+void
+write_metrics(const std::string &path)
+{
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::global()->snapshot();
+    std::ofstream os(path);
+    if (path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".prom") == 0)
+        snap.write_prometheus(os);
+    else
+        snap.write_json(os);
+    std::printf("metrics written to %s\n", path.c_str());
+}
+
+void
+write_trace(const obs::TraceSession &session, const std::string &path)
+{
+    std::ofstream os(path);
+    session.write_chrome_trace(os);
+    std::printf("Chrome trace written to %s (%zu records, %zu "
+                "dropped) — open in ui.perfetto.dev\n",
+                path.c_str(), session.recorded(), session.dropped());
+}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -55,7 +97,14 @@ usage(const char *argv0)
         "  --replicas N        service engine replicas (default 2)\n"
         "  --queue-capacity N  service submission queue (default 64)\n"
         "  --balanced-banks    greedy-balanced MP banking ablation\n"
-        "  --trace FILE        write a Chrome trace of the first graph\n"
+        "  --trace FILE        capture the whole run as a Chrome trace\n"
+        "                      (all subsystems + engine cycle rows)\n"
+        "  --metrics FILE      dump the metrics registry (.prom ->\n"
+        "                      Prometheus text, else JSON)\n"
+        "  --graph-file PATH   run one on-disk graph sharded from disk\n"
+        "                      (pool + ghost exchange) instead of a\n"
+        "                      synthetic dataset stream\n"
+        "  --shards N          dies for --graph-file (default 4)\n"
         "  --dse               search the best U50-fitting config\n",
         argv0);
     std::exit(2);
@@ -139,6 +188,12 @@ parse_args(int argc, char **argv)
             opt.balanced_banks = true;
         } else if (arg == "--trace") {
             opt.trace_path = next();
+        } else if (arg == "--metrics") {
+            opt.metrics_path = next();
+        } else if (arg == "--graph-file") {
+            opt.graph_file = next();
+        } else if (arg == "--shards") {
+            opt.shards = static_cast<std::uint32_t>(std::stoul(next()));
         } else if (arg == "--dse") {
             opt.run_dse = true;
         } else {
@@ -186,20 +241,25 @@ run_dse(const CliOptions &opt)
 int
 run_service(const CliOptions &opt)
 {
+    std::unique_ptr<obs::TraceSession> session;
+    if (!opt.trace_path.empty()) {
+        session = std::make_unique<obs::TraceSession>();
+        session->install();
+    }
+
     GraphSample probe = make_sample(opt.dataset, 0);
     Model model =
         make_model(opt.model, probe.node_dim(), probe.edge_dim());
-    InferenceService service(model, opt.config, opt.service);
+    ServiceConfig service_config = opt.service;
+    service_config.metrics = obs::MetricsRegistry::global();
+    InferenceService service(model, opt.config, service_config);
 
-    if (!opt.trace_path.empty()) {
+    if (session) {
+        // Graph 0 with unit-trace capture: the replica merges the
+        // engine's cycle rows onto the session timeline.
         RunOptions trace_opts;
         trace_opts.capture_trace = true;
-        RunResult r = service.submit(probe, trace_opts).get();
-        std::ofstream os(opt.trace_path);
-        write_chrome_trace(os, r.stats.trace, opt.config.clock_mhz);
-        std::printf("Chrome trace of graph 0 (%zu events) written to "
-                    "%s\n\n",
-                    r.stats.trace.size(), opt.trace_path.c_str());
+        service.submit(probe, trace_opts).get();
     }
 
     std::printf("%s on %s, %s, Pnode=%u Pedge=%u Papply=%u Pscatter=%u, "
@@ -262,6 +322,84 @@ run_service(const CliOptions &opt)
         std::printf("Replica %zu:            %zu graphs, %.1f%% busy\n",
                     r, svc.replicas[r].completed,
                     100.0 * svc.replicas[r].utilization);
+
+    service.drain();
+    if (session)
+        write_trace(*session, opt.trace_path);
+    if (!opt.metrics_path.empty())
+        write_metrics(opt.metrics_path);
+    return 0;
+}
+
+/**
+ * One on-disk graph, sharded from disk: io load -> pool admission
+ * (queue wait) -> die lease -> ghost-exchange job (functional pass,
+ * per-die pricing, per-layer boundary exchanges). With --trace the
+ * whole chain lands on a single Perfetto timeline.
+ */
+int
+run_sharded_file(const CliOptions &opt)
+{
+    std::unique_ptr<obs::TraceSession> session;
+    if (!opt.trace_path.empty()) {
+        session = std::make_unique<obs::TraceSession>();
+        session->install();
+        session->name_thread(obs::Track::kHost, "driver");
+        session->name_thread(obs::Track::kIo, "driver");
+    }
+    auto registry = obs::MetricsRegistry::global();
+    obs::StageProfiler profiler(registry);
+    obs::Sampler sampler(registry, std::chrono::milliseconds(5));
+    sampler.add_rss_probe();
+    sampler.start();
+
+    GraphSample sample;
+    profiler.stage("load", [&] {
+        LoadOptions lo;
+        lo.node_dim = 16;
+        sample = load_graph_sample(opt.graph_file, lo);
+    });
+
+    Model model =
+        make_model(opt.model, sample.node_dim(), sample.edge_dim());
+    PoolConfig pool_config;
+    pool_config.num_dies = opt.shards;
+    pool_config.metrics = registry;
+    PoolScheduler pool(model, opt.config, pool_config);
+
+    ShardConfig shard;
+    shard.num_shards = opt.shards;
+    shard.mode = ShardMode::kGhostExchange;
+
+    ShardedRunResult result;
+    profiler.stage("run", [&] {
+        result = pool.submit_sharded(std::move(sample), shard).get();
+    });
+    sampler.stop();
+
+    std::printf("%s on %s: %u dies (ghost exchange)\n",
+                model_name(opt.model), opt.graph_file.c_str(),
+                static_cast<std::uint32_t>(result.shards.size()));
+    std::printf("cut edges %zu  replication %.3f  cycles %llu  "
+                "latency %.4f ms  prediction %.6f\n",
+                result.cut_edges, result.replication_factor,
+                static_cast<unsigned long long>(
+                    result.stats.total_cycles),
+                result.stats.latency_ms(), result.prediction);
+    for (const obs::StageProfile &s : profiler.stages())
+        std::printf("%-6s %9.3f s   rss %8.1f MB   peak %8.1f MB\n",
+                    s.name.c_str(), s.seconds,
+                    static_cast<double>(s.rss_kb) / 1024.0,
+                    static_cast<double>(s.hwm_kb) / 1024.0);
+    PoolStats ps = pool.stats();
+    std::printf("pool: %zu jobs, queue delay p50 %.3f ms\n",
+                ps.submitted(), ps.queue_delay_p50_ms);
+
+    pool.shutdown();
+    if (session)
+        write_trace(*session, opt.trace_path);
+    if (!opt.metrics_path.empty())
+        write_metrics(opt.metrics_path);
     return 0;
 }
 
@@ -270,7 +408,11 @@ main(int argc, char **argv)
 {
     CliOptions opt = parse_args(argc, argv);
     try {
-        return opt.run_dse ? run_dse(opt) : run_service(opt);
+        if (opt.run_dse)
+            return run_dse(opt);
+        if (!opt.graph_file.empty())
+            return run_sharded_file(opt);
+        return run_service(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

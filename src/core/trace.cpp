@@ -1,5 +1,8 @@
 #include "core/trace.h"
 
+#include <cstdio>
+#include <set>
+
 namespace flowgnn {
 
 const char *
@@ -13,29 +16,89 @@ trace_kind_name(TraceKind kind)
     return "unknown";
 }
 
+std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
 void
 write_chrome_trace(std::ostream &os,
                    const std::vector<TraceEvent> &events,
                    double clock_mhz)
 {
     const double us_per_cycle = 1.0 / clock_mhz;
+    // Thread id: NT units 0..99, MP units offset by 100.
+    auto row = [](const TraceEvent &e) {
+        return (e.kind == TraceKind::kMpWork)
+                   ? 100 + static_cast<int>(e.unit)
+                   : static_cast<int>(e.unit);
+    };
+
     os << "[\n";
     bool first = true;
-    for (const auto &e : events) {
-        if (!first)
-            os << ",\n";
+    auto emit = [&](const std::string &line) {
+        os << (first ? "  " : ",\n  ") << line;
         first = false;
-        // Thread id: NT units 0..99, MP units offset by 100.
-        int tid = (e.kind == TraceKind::kMpWork)
-            ? 100 + static_cast<int>(e.unit)
-            : static_cast<int>(e.unit);
-        os << "  {\"name\": \"" << trace_kind_name(e.kind) << " n"
-           << e.node << "\", \"cat\": \"" << trace_kind_name(e.kind)
-           << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << tid
-           << ", \"ts\": " << static_cast<double>(e.start) * us_per_cycle
-           << ", \"dur\": "
-           << static_cast<double>(e.end - e.start) * us_per_cycle
-           << "}";
+    };
+
+    // Metadata first, so Perfetto labels rows instead of showing bare
+    // tids. An empty trace stays an empty array.
+    if (!events.empty()) {
+        emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"args\": {\"name\": \"flowgnn engine (cycle "
+             "domain)\"}}");
+        std::set<int> rows;
+        for (const auto &e : events)
+            rows.insert(row(e));
+        char line[160];
+        for (int tid : rows) {
+            std::snprintf(line, sizeof line,
+                          "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                          "\"pid\": 0, \"tid\": %d, \"args\": "
+                          "{\"name\": \"%s %d\"}}",
+                          tid, tid >= 100 ? "MP" : "NT",
+                          tid >= 100 ? tid - 100 : tid);
+            emit(line);
+        }
+    }
+
+    char line[256];
+    for (const auto &e : events) {
+        std::string name = json_escape(
+            std::string(trace_kind_name(e.kind)) + " n" +
+            std::to_string(e.node));
+        std::string cat = json_escape(trace_kind_name(e.kind));
+        std::snprintf(line, sizeof line,
+                      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": "
+                      "\"X\", \"pid\": 0, \"tid\": %d, \"ts\": %g, "
+                      "\"dur\": %g}",
+                      name.c_str(), cat.c_str(), row(e),
+                      static_cast<double>(e.start) * us_per_cycle,
+                      static_cast<double>(e.end - e.start) *
+                          us_per_cycle);
+        emit(line);
     }
     os << "\n]\n";
 }

@@ -10,11 +10,21 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace flowgnn {
+
+/**
+ * Escapes a string for embedding inside a JSON string literal:
+ * backslash, double quote, and control characters (as \uXXXX or the
+ * short forms \n \r \t \b \f). Shared by every JSON writer in the
+ * tree so no exported name can break a document.
+ */
+std::string json_escape(std::string_view s);
 
 /** What a processing unit was doing during an interval. */
 enum class TraceKind {
@@ -37,8 +47,16 @@ struct TraceEvent {
 
 /**
  * Writes the events as a Chrome trace JSON document. Each NT/MP unit
- * becomes a thread row; event timestamps are microseconds at the given
- * kernel clock.
+ * becomes a thread row labeled by process/thread-name metadata events
+ * ("NT 0", "MP 2" under process "flowgnn engine (cycle domain)"), so
+ * Perfetto shows named unit rows instead of bare tids; event
+ * timestamps are microseconds at the given kernel clock. All name
+ * strings are JSON-escaped. An empty event list writes an empty array
+ * (no metadata).
+ *
+ * For a multi-subsystem wall-clock timeline that merges this cycle
+ * trace with serve/pool/shard/ghost/io spans, see
+ * obs/trace_session.h.
  */
 void write_chrome_trace(std::ostream &os,
                         const std::vector<TraceEvent> &events,

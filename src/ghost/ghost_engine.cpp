@@ -1,10 +1,12 @@
 #include "ghost/ghost_engine.h"
 
+#include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "core/phase_model.h"
 #include "graph/partition.h"
+#include "obs/trace_session.h"
 
 namespace flowgnn {
 
@@ -133,6 +135,53 @@ price_ghost_die(const GhostShard &shard,
     return stats;
 }
 
+/**
+ * Emits the modeled per-die execution — load, per-layer boundary
+ * exchange, per-stage compute, head — as cycle-domain spans on
+ * Track::kGhost, one explicitly-addressed row per die, serialized in
+ * model order. comm[p] is the exchange feeding phase p's scatter
+ * (RunStats::layer_comm_cycles convention), so it precedes stage p.
+ */
+void
+emit_modeled_timeline(obs::TraceSession &session,
+                      const std::vector<RunStats> &per_die,
+                      const std::vector<std::vector<std::uint64_t>>
+                          &per_layer_comm,
+                      const obs::CycleClockMap &map)
+{
+    char nm[48];
+    for (std::size_t t = 0; t < per_die.size(); ++t) {
+        const RunStats &s = per_die[t];
+        const std::uint32_t tid =
+            obs::TraceSession::kExplicitTidBase +
+            static_cast<std::uint32_t>(t);
+        std::snprintf(nm, sizeof nm, "die %zu (modeled)", t);
+        session.name_row(obs::Track::kGhost, tid, nm);
+
+        std::uint64_t cursor = 0;
+        auto emit = [&](const char *label, std::uint64_t cycles) {
+            if (cycles == 0)
+                return;
+            session.span_on(obs::Track::kGhost, tid, label,
+                            map.to_ns(cursor),
+                            map.to_ns(cursor + cycles));
+            cursor += cycles;
+        };
+
+        emit("load", s.load_cycles);
+        const std::vector<std::uint64_t> &comm = per_layer_comm[t];
+        for (std::size_t p = 0; p < s.phase_cycles.size(); ++p) {
+            if (p < comm.size() && comm[p] != 0) {
+                std::snprintf(nm, sizeof nm, "exchange %zu", p);
+                emit(nm, comm[p]);
+            }
+            std::snprintf(nm, sizeof nm, "stage %zu", p);
+            emit(nm, s.phase_cycles[p]);
+        }
+        emit("head", s.head_cycles);
+    }
+}
+
 } // namespace
 
 ShardedRunResult
@@ -151,6 +200,9 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
                unsigned host_cores)
 {
     ShardedRunResult out;
+    obs::TraceSession *session = obs::TraceSession::current();
+    const std::uint64_t run_start_ns =
+        session ? session->now_ns() : 0;
 
     if (!plan.sharded) {
         Engine engine(model, config);
@@ -177,8 +229,12 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
     EngineConfig func_cfg = config;
     func_cfg.mode = PipelineMode::kNonPipelined;
     RunWorkspace func_ws;
-    RunResult func = Engine(model, func_cfg)
-                         .run_prepared(prepared, opts, func_ws, host_cores);
+    RunResult func;
+    {
+        obs::Span span(obs::Track::kGhost, "functional pass");
+        func = Engine(model, func_cfg)
+                   .run_prepared(prepared, opts, func_ws, host_cores);
+    }
     out.embeddings = std::move(func.embeddings);
     out.prediction = func.prediction;
 
@@ -193,6 +249,11 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
         threads.reserve(plan.shards.size());
         for (std::size_t t = 0; t < plan.shards.size(); ++t) {
             threads.emplace_back([&, t] {
+                char nm[32];
+                std::snprintf(nm, sizeof nm, "price die %zu", t);
+                if (obs::TraceSession *s = obs::TraceSession::current())
+                    s->name_thread(obs::Track::kGhost, nm);
+                obs::Span span(obs::Track::kGhost, nm);
                 per_die[t] =
                     price_ghost_die(plan.shards[t], schedule, model,
                                     config, opts, node_dim, edge_dim);
@@ -215,6 +276,14 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
         compose_shard_stats(per_die, per_layer_comm, link.overlap);
     out.cut_edges = plan.cut_edges;
     out.replication_factor = plan.replication_factor;
+
+    // The modeled multi-die execution — per-layer exchanges between
+    // per-stage compute windows — onto the wall timeline, anchored at
+    // the instant this run started.
+    if (session)
+        emit_modeled_timeline(
+            *session, per_die, per_layer_comm,
+            obs::CycleClockMap{run_start_ns, config.clock_mhz});
     return out;
 }
 

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "core/parallel.h"
+#include "obs/trace_session.h"
 
 namespace flowgnn {
 namespace io {
@@ -77,6 +78,7 @@ MappedFile::drop_pages() const
 GraphView::GraphView(const std::string &path, GraphViewOptions opts)
     : path_(path), map_(path)
 {
+    obs::Span open_span(obs::Track::kIo, "open: mmap + header");
     if (map_.size() < sizeof(std::uint32_t) ||
         std::memcmp(map_.data(), &kGraphFileMagic,
                     sizeof(std::uint32_t)) != 0)
@@ -114,9 +116,12 @@ GraphView::GraphView(const std::string &path, GraphViewOptions opts)
         p += n * sizeof(std::uint32_t);
     }
 
+    open_span.finish();
+
     // Endpoint validation before anything downstream can index with a
     // hostile id. Parallel scan; the *lowest* offending edge index is
     // reported so the diagnostic matches the serial loader's exactly.
+    obs::Span validate_span(obs::Track::kIo, "validate endpoints");
     const std::uint64_t nn = h_.num_nodes;
     const unsigned T = parallel_range_count(e, opts.threads);
     std::vector<std::size_t> first_bad(
@@ -138,7 +143,10 @@ GraphView::GraphView(const std::string &path, GraphViewOptions opts)
                           ") out of range for " + std::to_string(nn) +
                           " nodes");
 
+    validate_span.finish();
+
     if (opts.verify_checksum) {
+        obs::Span checksum_span(obs::Track::kIo, "payload checksum");
         const unsigned char *payload = map_.data() + sizeof h_;
         const std::uint64_t actual =
             h_.version == kGraphFileVersionChunked

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/trace_session.h"
+
 namespace flowgnn {
 
 const char *
@@ -47,17 +49,23 @@ load_graph_sample(const std::string &path, const LoadOptions &options)
         format = detect_graph_format(path);
 
     GraphSample s;
-    if (format == GraphFileFormat::kBinary) {
-        s = GraphFile::load(path);
-    } else {
-        EdgeListOptions eopts;
-        eopts.num_nodes = options.num_nodes;
-        s.graph = format == GraphFileFormat::kOgbCsv
-                      ? parse_ogb_csv(path, eopts)
-                      : parse_snap_edge_list(path, eopts);
-        if (options.symmetrize)
-            s.graph = s.graph.with_reverse_edges();
-        s.node_features = Matrix(s.graph.num_nodes, 0);
+    {
+        char nm[32];
+        std::snprintf(nm, sizeof nm, "parse %s",
+                      graph_file_format_name(format));
+        obs::Span span(obs::Track::kIo, nm);
+        if (format == GraphFileFormat::kBinary) {
+            s = GraphFile::load(path);
+        } else {
+            EdgeListOptions eopts;
+            eopts.num_nodes = options.num_nodes;
+            s.graph = format == GraphFileFormat::kOgbCsv
+                          ? parse_ogb_csv(path, eopts)
+                          : parse_snap_edge_list(path, eopts);
+            if (options.symmetrize)
+                s.graph = s.graph.with_reverse_edges();
+            s.node_features = Matrix(s.graph.num_nodes, 0);
+        }
     }
 
     if (s.graph.num_nodes == 0)

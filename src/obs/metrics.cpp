@@ -1,0 +1,318 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace flowgnn {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(double alpha, double floor, double ceiling)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::invalid_argument(
+            "Histogram: alpha must be in (0, 1)");
+    if (!(floor > 0.0 && ceiling > floor))
+        throw std::invalid_argument(
+            "Histogram: need 0 < floor < ceiling");
+    alpha_ = alpha;
+    floor_ = floor;
+    gamma_ = (1.0 + alpha) / (1.0 - alpha);
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+    const std::size_t n = static_cast<std::size_t>(
+        std::ceil(std::log(ceiling / floor) * inv_log_gamma_));
+    buckets_ = std::vector<std::atomic<std::uint64_t>>(n + 1);
+}
+
+std::size_t
+Histogram::bucket_index(double v) const
+{
+    if (!(v > floor_))
+        return 0; // <= floor, non-finite, and negatives clamp low
+    double idx = std::log(v / floor_) * inv_log_gamma_;
+    std::size_t i = static_cast<std::size_t>(idx);
+    return std::min(i, buckets_.size() - 1);
+}
+
+void
+Histogram::record(double v)
+{
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Min/max via CAS against +-inf sentinels (snapshot() maps an
+    // empty histogram's extremes back to 0).
+    double cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed))
+        ;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.alpha = alpha_;
+    s.bucket_floor = floor_;
+    s.gamma = gamma_;
+    s.buckets.resize(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+    s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank over the bucket cumulative counts.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            if (i == 0)
+                return bucket_floor; // the [0, floor] catch-all
+            // Geometric midpoint of [floor*g^i, floor*g^(i+1)):
+            // relative error <= sqrt(gamma) - 1 ~= alpha.
+            return bucket_floor *
+                   std::pow(gamma, static_cast<double>(i) + 0.5);
+        }
+    }
+    return max; // only reachable through concurrent-update skew
+}
+
+HistogramSnapshot
+HistogramSnapshot::delta(const HistogramSnapshot &earlier) const
+{
+    HistogramSnapshot d = *this;
+    d.count -= std::min(earlier.count, d.count);
+    d.sum -= earlier.sum;
+    for (std::size_t i = 0;
+         i < d.buckets.size() && i < earlier.buckets.size(); ++i)
+        d.buckets[i] -= std::min(earlier.buckets[i], d.buckets[i]);
+    return d;
+}
+
+HistogramSnapshot
+HistogramSnapshot::merge(const HistogramSnapshot &other) const
+{
+    HistogramSnapshot m = *this;
+    m.count += other.count;
+    m.sum += other.sum;
+    if (other.count > 0) {
+        m.min = count == 0 ? other.min : std::min(m.min, other.min);
+        m.max = count == 0 ? other.max : std::max(m.max, other.max);
+    }
+    if (m.buckets.size() < other.buckets.size())
+        m.buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        m.buckets[i] += other.buckets[i];
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+
+namespace {
+
+/** Finite doubles in shortest round-trip-ish form; JSON has no inf. */
+void
+write_number(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "0";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os << buf;
+}
+
+std::string
+prometheus_name(const std::string &name)
+{
+    std::string out = "flowgnn_";
+    for (char c : name)
+        out.push_back(c == '.' || c == '-' ? '_' : c);
+    return out;
+}
+
+constexpr double kExportQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+} // namespace
+
+MetricsSnapshot
+MetricsSnapshot::delta(const MetricsSnapshot &earlier) const
+{
+    MetricsSnapshot d = *this;
+    for (auto &[name, v] : d.counters) {
+        auto it = earlier.counters.find(name);
+        if (it != earlier.counters.end())
+            v -= std::min(it->second, v);
+    }
+    for (auto &[name, h] : d.histograms) {
+        auto it = earlier.histograms.find(name);
+        if (it != earlier.histograms.end())
+            h = h.delta(it->second);
+    }
+    return d;
+}
+
+void
+MetricsSnapshot::write_json(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : gauges) {
+        os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+        write_number(os, v);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": {\"count\": " << h.count << ", \"sum\": ";
+        write_number(os, h.sum);
+        os << ", \"min\": ";
+        write_number(os, h.min);
+        os << ", \"max\": ";
+        write_number(os, h.max);
+        os << ", \"mean\": ";
+        write_number(os, h.mean());
+        for (double q : kExportQuantiles) {
+            char label[16];
+            std::snprintf(label, sizeof label, "p%g", q * 100.0);
+            os << ", \"" << label << "\": ";
+            write_number(os, h.quantile(q));
+        }
+        os << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsSnapshot::write_prometheus(std::ostream &os) const
+{
+    for (const auto &[name, v] : counters) {
+        std::string p = prometheus_name(name);
+        os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+    }
+    for (const auto &[name, v] : gauges) {
+        std::string p = prometheus_name(name);
+        os << "# TYPE " << p << " gauge\n" << p << " ";
+        write_number(os, v);
+        os << "\n";
+    }
+    for (const auto &[name, h] : histograms) {
+        std::string p = prometheus_name(name);
+        os << "# TYPE " << p << " summary\n";
+        for (double q : kExportQuantiles) {
+            os << p << "{quantile=\"" << q << "\"} ";
+            write_number(os, h.quantile(q));
+            os << "\n";
+        }
+        os << p << "_sum ";
+        write_number(os, h.sum);
+        os << "\n" << p << "_count " << h.count << "\n";
+        os << "# TYPE " << p << "_min gauge\n" << p << "_min ";
+        write_number(os, h.min);
+        os << "\n# TYPE " << p << "_max gauge\n" << p << "_max ";
+        write_number(os, h.max);
+        os << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = metrics_[name];
+    if (e.gauge || e.histogram)
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as another type");
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = metrics_[name];
+    if (e.counter || e.histogram)
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as another type");
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, double alpha)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = metrics_[name];
+    if (e.counter || e.gauge)
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as another type");
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(alpha);
+    return *e.histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot s;
+    for (const auto &[name, e] : metrics_) {
+        if (e.counter)
+            s.counters[name] = e.counter->value();
+        else if (e.gauge)
+            s.gauges[name] = e.gauge->value();
+        else if (e.histogram)
+            s.histograms[name] = e.histogram->snapshot();
+    }
+    return s;
+}
+
+const std::shared_ptr<MetricsRegistry> &
+MetricsRegistry::global()
+{
+    static const std::shared_ptr<MetricsRegistry> instance =
+        std::make_shared<MetricsRegistry>();
+    return instance;
+}
+
+} // namespace obs
+} // namespace flowgnn

@@ -1,0 +1,151 @@
+#include "obs/stage_profile.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace flowgnn {
+namespace obs {
+
+MemoryStats
+read_memory_stats()
+{
+    MemoryStats m;
+    std::ifstream is("/proc/self/status");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.compare(0, 6, "VmRSS:") == 0)
+            m.rss_kb = std::atol(line.c_str() + 7);
+        else if (line.compare(0, 6, "VmHWM:") == 0)
+            m.hwm_kb = std::atol(line.c_str() + 7);
+    }
+    return m;
+}
+
+void
+StageProfiler::finish_stage(const std::string &name, double seconds)
+{
+    StageProfile s;
+    s.name = name;
+    s.seconds = seconds;
+    MemoryStats m = read_memory_stats();
+    s.rss_kb = m.rss_kb;
+    s.hwm_kb = m.hwm_kb;
+    stages_.push_back(std::move(s));
+    if (registry_)
+        registry_->histogram(prefix_ + ".stage_seconds")
+            .record(seconds);
+}
+
+double
+StageProfiler::total_seconds() const
+{
+    double total = 0.0;
+    for (const StageProfile &s : stages_)
+        total += s.seconds;
+    return total;
+}
+
+void
+StageProfiler::write_json_array(std::ostream &os,
+                                const char *indent) const
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const StageProfile &s = stages_[i];
+        os << indent << "{\"stage\": \"" << json_escape(s.name)
+           << "\", \"seconds\": " << s.seconds
+           << ", \"rss_mb\": " << static_cast<double>(s.rss_kb) / 1024.0
+           << ", \"peak_rss_mb\": "
+           << static_cast<double>(s.hwm_kb) / 1024.0 << "}"
+           << (i + 1 < stages_.size() ? "," : "") << "\n";
+    }
+    // Close at one level shallower than the rows.
+    os << (std::strlen(indent) >= 2 ? indent + 2 : indent) << "]";
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+Sampler::Sampler(std::shared_ptr<MetricsRegistry> registry,
+                 std::chrono::milliseconds interval)
+    : registry_(std::move(registry)), interval_(interval)
+{
+    if (interval_ <= std::chrono::milliseconds(0))
+        interval_ = std::chrono::milliseconds(1);
+}
+
+Sampler::~Sampler() { stop(); }
+
+void
+Sampler::add_probe(std::string name, Track track,
+                   std::function<double()> fn)
+{
+    probes_.push_back({std::move(name), track, std::move(fn)});
+}
+
+void
+Sampler::add_rss_probe(const std::string &prefix, Track track)
+{
+    add_probe(prefix + ".rss_mb", track, [] {
+        return static_cast<double>(read_memory_stats().rss_kb) /
+               1024.0;
+    });
+}
+
+void
+Sampler::start()
+{
+    if (thread_.joinable())
+        return;
+    stopping_ = false;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+Sampler::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Sampler::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        lock.unlock();
+        tick();
+        lock.lock();
+        if (stopping_)
+            return; // final tick already taken above
+        cv_.wait_for(lock, interval_, [this] { return stopping_; });
+        if (stopping_) {
+            lock.unlock();
+            tick(); // closing sample so short runs record an endpoint
+            return;
+        }
+    }
+}
+
+void
+Sampler::tick()
+{
+    TraceSession *session = TraceSession::current();
+    for (const Probe &p : probes_) {
+        const double v = p.fn();
+        if (registry_)
+            registry_->gauge(p.name).set(v);
+        if (session)
+            session->counter(p.track, p.name, v);
+    }
+}
+
+} // namespace obs
+} // namespace flowgnn

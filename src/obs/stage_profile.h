@@ -1,0 +1,170 @@
+/**
+ * @file
+ * flowgnn::obs — stage profiling and background sampling.
+ *
+ * StageProfiler is the library-level form of the wall + VmRSS/VmHWM
+ * stage table the host benches print: each stage(name, fn) call runs
+ * fn, records seconds plus memory after the stage, emits a
+ * Track::kHost span when a TraceSession is installed, and (when given
+ * a registry) mirrors the duration into a "<prefix>.stage_seconds"
+ * histogram. Benches keep their exact output format by printing from
+ * the returned StageProfile rows.
+ *
+ * read_memory_stats() is the one shared /proc/self/status parser —
+ * every VmRSS/VmHWM consumer in the tree goes through it.
+ *
+ * Sampler runs a background thread that periodically evaluates probe
+ * callbacks (queue depth, busy dies, RSS, ...), publishing each value
+ * as a registry gauge and — when a TraceSession is installed — as a
+ * Chrome-trace counter sample, so Perfetto shows the gauge timeline
+ * under the owning subsystem's process row.
+ */
+#ifndef FLOWGNN_OBS_STAGE_PROFILE_H
+#define FLOWGNN_OBS_STAGE_PROFILE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
+
+namespace flowgnn {
+namespace obs {
+
+/** Process memory, in KiB, from /proc/self/status. */
+struct MemoryStats {
+    long rss_kb = 0; ///< VmRSS: current resident set
+    long hwm_kb = 0; ///< VmHWM: lifetime peak resident set
+};
+
+/** Reads VmRSS/VmHWM from /proc/self/status (zeros when the file is
+ * unavailable, e.g. non-Linux). */
+MemoryStats read_memory_stats();
+
+/** One profiled stage: wall time plus memory after it finished. */
+struct StageProfile {
+    std::string name;
+    double seconds = 0.0;
+    long rss_kb = 0; ///< VmRSS after the stage
+    long hwm_kb = 0; ///< VmHWM (lifetime peak) after the stage
+};
+
+/**
+ * Collects StageProfile rows. Optionally mirrors stage durations into
+ * a MetricsRegistry histogram named "<prefix>.stage_seconds" and — via
+ * the installed TraceSession, if any — emits each stage as a
+ * Track::kHost span.
+ */
+class StageProfiler
+{
+  public:
+    explicit StageProfiler(
+        std::shared_ptr<MetricsRegistry> registry = nullptr,
+        std::string prefix = "host")
+        : registry_(std::move(registry)), prefix_(std::move(prefix))
+    {
+    }
+
+    /** Runs fn, recording wall time and post-stage memory. */
+    template <typename Fn>
+    void
+    stage(const std::string &name, Fn &&fn)
+    {
+        TraceSession *session = TraceSession::current();
+        const std::uint64_t t0_ns = session ? session->now_ns() : 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::forward<Fn>(fn)();
+        const auto t1 = std::chrono::steady_clock::now();
+        if (session)
+            session->span(Track::kHost, name, t0_ns,
+                          session->now_ns());
+        finish_stage(
+            name, std::chrono::duration<double>(t1 - t0).count());
+    }
+
+    const std::vector<StageProfile> &
+    stages() const
+    {
+        return stages_;
+    }
+
+    /** Seconds summed over all recorded stages. */
+    double total_seconds() const;
+
+    /** The rows as a JSON array (the benches' "stages" field):
+     * [{"stage": ..., "seconds": ..., "rss_mb": ...,
+     *   "peak_rss_mb": ...}, ...] */
+    void write_json_array(std::ostream &os,
+                          const char *indent = "    ") const;
+
+  private:
+    void finish_stage(const std::string &name, double seconds);
+
+    std::shared_ptr<MetricsRegistry> registry_;
+    std::string prefix_;
+    std::vector<StageProfile> stages_;
+};
+
+/**
+ * Background gauge sampler. Probes are registered before start();
+ * every interval the thread evaluates each probe, stores the value in
+ * the registry gauge of the same name, and (when a TraceSession is
+ * installed) records a counter sample on the probe's track so the
+ * timeline shows the value over time. stop() (or destruction) joins
+ * the thread; the final tick is taken before exit so short runs still
+ * get at least one sample.
+ */
+class Sampler
+{
+  public:
+    explicit Sampler(std::shared_ptr<MetricsRegistry> registry,
+                     std::chrono::milliseconds interval =
+                         std::chrono::milliseconds(50));
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Registers a probe; must be called before start(). The callback
+     * runs on the sampler thread and must be thread-safe. */
+    void add_probe(std::string name, Track track,
+                   std::function<double()> fn);
+
+    /** Registers a "<prefix>.rss_mb" probe over read_memory_stats(). */
+    void add_rss_probe(const std::string &prefix = "host",
+                       Track track = Track::kHost);
+
+    void start();
+    void stop();
+
+  private:
+    struct Probe {
+        std::string name;
+        Track track;
+        std::function<double()> fn;
+    };
+
+    void run();
+    void tick();
+
+    std::shared_ptr<MetricsRegistry> registry_;
+    std::chrono::milliseconds interval_;
+    std::vector<Probe> probes_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace obs
+} // namespace flowgnn
+
+#endif // FLOWGNN_OBS_STAGE_PROFILE_H

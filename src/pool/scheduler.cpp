@@ -1,19 +1,14 @@
 #include "pool/scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/telemetry.h"
 #include "ghost/ghost_engine.h"
+#include "obs/trace_session.h"
 
 namespace flowgnn {
-
-namespace {
-
-/** Queue-delay samples kept for percentile telemetry. */
-constexpr std::size_t kDelayWindow = 4096;
-
-} // namespace
 
 const char *
 pool_policy_name(PoolPolicy policy)
@@ -36,6 +31,8 @@ struct PoolScheduler::Job {
     bool sharded_path = false; ///< admitted via submit_sharded*
     Deliver deliver = Deliver::kRun;
     int priority = 0;
+    std::uint64_t id = 0;       ///< admission order, for trace labels
+    std::uint64_t enq_ns = 0;   ///< admit instant on the trace clock
     GraphSample prepared;
     /** Ghost-mode job: layers are exchange-synchronous, so the slices
      * cannot be scheduled independently. The job is one indivisible
@@ -61,7 +58,17 @@ PoolScheduler::PoolScheduler(const Model &model, EngineConfig engine_config,
                              PoolConfig config)
     : model_(model),
       config_(config),
-      pool_(model, engine_config, config.num_dies)
+      pool_(model, engine_config, config.num_dies),
+      metrics_(config.metrics
+                   ? config.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      jobs_ctr_(metrics_->counter("pool.jobs_total")),
+      completed_ctr_(metrics_->counter("pool.completed_total")),
+      failed_ctr_(metrics_->counter("pool.failed_total")),
+      rejected_ctr_(metrics_->counter("pool.rejected_total")),
+      busy_dies_gauge_(metrics_->gauge("pool.busy_dies")),
+      queue_depth_gauge_(metrics_->gauge("pool.queue_depth")),
+      queue_delay_hist_(metrics_->histogram("pool.queue_delay_ms"))
 {
     // Fail fast: a malformed config must never reach die threads.
     config_.validate();
@@ -153,6 +160,7 @@ PoolScheduler::try_pick(Dispatch &out)
 void
 PoolScheduler::die_loop(std::size_t die)
 {
+    obs::TraceSession *named_for = nullptr; // row named once per session
     std::unique_lock<std::mutex> lock(mutex_);
     unpark_.wait(lock, [&] { return started_ || shutdown_; });
 
@@ -166,18 +174,16 @@ PoolScheduler::die_loop(std::size_t die)
         }
 
         // ---- Dispatch d.task of d.job onto this die. ----
+        obs::TraceSession *session = obs::TraceSession::current();
         Job &job = *d.job;
         if (!job.dispatched_any) {
             job.dispatched_any = true;
-            double delay = ms_between(job.enqueued,
-                                    std::chrono::steady_clock::now());
-            if (queue_delays_ms_.size() < kDelayWindow) {
-                queue_delays_ms_.push_back(delay);
-            } else {
-                queue_delays_ms_[queue_delay_cursor_] = delay;
-                queue_delay_cursor_ =
-                    (queue_delay_cursor_ + 1) % kDelayWindow;
-            }
+            queue_delay_hist_.record(ms_between(
+                job.enqueued, std::chrono::steady_clock::now()));
+            // The request's time-in-queue, on its own timeline.
+            if (session && job.enq_ns != 0)
+                session->span(obs::Track::kPool, "queue-wait",
+                              job.enq_ns, session->now_ns());
         }
         ++job.next_task;
         ++tasks_running_;
@@ -192,6 +198,20 @@ PoolScheduler::die_loop(std::size_t die)
         // gang-started job's tasks).
         work_.notify_all();
         pool_.lease(die);
+        busy_dies_gauge_.set(static_cast<double>(tasks_running_));
+        queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+        std::uint64_t lease_start_ns = 0;
+        if (session) {
+            if (session != named_for) {
+                char row[24];
+                std::snprintf(row, sizeof row, "die %zu", die);
+                session->name_thread(obs::Track::kPool, row);
+                named_for = session;
+            }
+            session->counter(obs::Track::kPool, "busy dies",
+                             static_cast<double>(tasks_running_));
+            lease_start_ns = session->now_ns();
+        }
         lock.unlock();
 
         bool ok = true;
@@ -215,9 +235,30 @@ PoolScheduler::die_loop(std::size_t die)
             error = std::current_exception();
         }
         pool_.release(die);
+        if (session) {
+            char nm[48];
+            if (job.ghost)
+                std::snprintf(nm, sizeof nm,
+                              "lease: job %llu (ghost)",
+                              static_cast<unsigned long long>(job.id));
+            else if (job.plan.sharded)
+                std::snprintf(nm, sizeof nm,
+                              "lease: job %llu slice %zu/%zu",
+                              static_cast<unsigned long long>(job.id),
+                              d.task, job.results.size());
+            else
+                std::snprintf(nm, sizeof nm, "lease: job %llu",
+                              static_cast<unsigned long long>(job.id));
+            session->span(obs::Track::kPool, nm, lease_start_ns,
+                          session->now_ns());
+        }
 
         lock.lock();
         --tasks_running_;
+        busy_dies_gauge_.set(static_cast<double>(tasks_running_));
+        if (session)
+            session->counter(obs::Track::kPool, "busy dies",
+                             static_cast<double>(tasks_running_));
         job.results[d.task] = std::move(result);
         if (!ok && !job.error)
             job.error = error;
@@ -255,6 +296,8 @@ PoolScheduler::finalize(const JobPtr &jobp)
 
     // Count the completion BEFORE fulfilling the promise, so a caller
     // that checks stats() right after future.get() sees it.
+    completed_ctr_.add(ok);
+    failed_ctr_.add(!ok);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         PoolPathStats &path = job.sharded_path ? sharded_ : fast_;
@@ -292,6 +335,7 @@ PoolScheduler::admit(const JobPtr &job, PoolPathStats &path)
         if (config_.admission == AdmissionPolicy::kReject) {
             if (queue_.size() >= config_.queue_capacity) {
                 ++path.rejected;
+                rejected_ctr_.add(1);
                 throw ServiceOverloaded();
             }
         } else if (queue_.size() >= config_.queue_capacity) {
@@ -306,8 +350,13 @@ PoolScheduler::admit(const JobPtr &job, PoolPathStats &path)
                     "PoolScheduler: submit after shutdown");
         }
         ++path.submitted;
+        job->id = next_job_id_++;
         job->enqueued = std::chrono::steady_clock::now();
+        if (obs::TraceSession *session = obs::TraceSession::current())
+            job->enq_ns = session->now_ns();
         queue_.push_back(job);
+        jobs_ctr_.add(1);
+        queue_depth_gauge_.set(static_cast<double>(queue_.size()));
     }
     work_.notify_all();
 }
@@ -391,6 +440,12 @@ PoolScheduler::make_sharded_job(GraphSample sample,
     job->prepared = model_.prepare(sample);
     if (!job->prepared.consistent())
         throw std::invalid_argument("PoolScheduler: inconsistent sample");
+    char span_name[32];
+    std::snprintf(span_name, sizeof span_name, "plan %s P=%u",
+                  clamped.mode == ShardMode::kGhostExchange ? "ghost"
+                                                            : "halo",
+                  clamped.num_shards);
+    obs::Span plan_span(obs::Track::kShard, span_name);
     if (clamped.mode == ShardMode::kGhostExchange) {
         job->ghost = true;
         job->ghost_plan = make_ghost_plan(model_, job->prepared, clamped);
@@ -463,7 +518,6 @@ PoolStats
 PoolScheduler::stats() const
 {
     PoolStats out;
-    std::vector<double> delays;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         out.fast = fast_;
@@ -472,14 +526,14 @@ PoolScheduler::stats() const
         out.tasks_running = tasks_running_;
         out.blocked_producers = blocked_producers_;
         out.queue_capacity = config_.queue_capacity;
-        delays = queue_delays_ms_;
     }
-    // Sort outside the lock: a polling monitor must not stall
-    // dispatch for an O(n log n) pass over the delay window.
-    std::sort(delays.begin(), delays.end());
-    out.queue_delay_p50_ms = percentile(delays, 0.50);
-    out.queue_delay_p95_ms = percentile(delays, 0.95);
-    out.queue_delay_p99_ms = percentile(delays, 0.99);
+    // Full-lifetime delay percentiles from the shared log-bucket
+    // histogram (~1% relative error; see obs/metrics.h). Lock-free,
+    // so a polling monitor never stalls dispatch.
+    obs::HistogramSnapshot delays = queue_delay_hist_.snapshot();
+    out.queue_delay_p50_ms = delays.quantile(0.50);
+    out.queue_delay_p95_ms = delays.quantile(0.95);
+    out.queue_delay_p99_ms = delays.quantile(0.99);
     out.uptime_ms = pool_.uptime_ms();
     out.peak_busy_dies = pool_.peak_busy();
     out.dies = pool_.die_stats();

@@ -42,6 +42,7 @@
 #include <memory>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "pool/die_pool.h"
 #include "serve/service.h"
 #include "shard/shard_plan.h"
@@ -73,6 +74,11 @@ struct PoolConfig {
     double aging_ms = 25.0;
     /** Construct dies parked; nothing dispatches until start(). */
     bool start_paused = false;
+    /** Metrics sink. The scheduler registers pool.* counters/gauges
+     * and the pool.queue_delay_ms histogram here; pass a shared
+     * registry to aggregate with other subsystems, or leave null for
+     * a private one. PoolStats is a typed view over these metrics. */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 
     void
     validate() const
@@ -109,8 +115,10 @@ struct PoolStats {
     std::size_t blocked_producers = 0;
     std::size_t queue_capacity = 0;
     double uptime_ms = 0.0;
-    /** Submit-to-first-dispatch wall delay percentiles (ms) over a
-     * sliding window of recent jobs. */
+    /** Submit-to-first-dispatch wall delay percentiles (ms) over the
+     * FULL scheduler lifetime, read from the shared
+     * pool.queue_delay_ms log-bucket histogram (O(1) memory, each
+     * quantile within ~1% relative error — see obs/metrics.h). */
     double queue_delay_p50_ms = 0.0;
     double queue_delay_p95_ms = 0.0;
     double queue_delay_p99_ms = 0.0;
@@ -234,8 +242,19 @@ class PoolScheduler
     std::size_t blocked_producers_ = 0;
     PoolPathStats fast_;
     PoolPathStats sharded_;
-    std::vector<double> queue_delays_ms_; ///< ring of recent delays
-    std::size_t queue_delay_cursor_ = 0;
+    std::uint64_t next_job_id_ = 1; ///< labels die-lease trace spans
+
+    // Shared-registry metrics; the counters mirror the mutex-guarded
+    // PoolPathStats (those stay: drain()'s condition needs them
+    // consistent under mutex_).
+    std::shared_ptr<obs::MetricsRegistry> metrics_;
+    obs::Counter &jobs_ctr_;
+    obs::Counter &completed_ctr_;
+    obs::Counter &failed_ctr_;
+    obs::Counter &rejected_ctr_;
+    obs::Gauge &busy_dies_gauge_;
+    obs::Gauge &queue_depth_gauge_;
+    obs::Histogram &queue_delay_hist_;
 };
 
 } // namespace flowgnn

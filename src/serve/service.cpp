@@ -1,21 +1,13 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/telemetry.h"
+#include "obs/trace_session.h"
 
 namespace flowgnn {
-
-namespace {
-
-/** Latency samples kept for percentile telemetry: a ring of the most
- * recent completions, so a service alive for billions of requests
- * neither grows without bound nor sorts an ever-larger vector under
- * its mutex on every stats() call. */
-constexpr std::size_t kLatencyWindow = 4096;
-
-} // namespace
 
 InferenceService::InferenceService(const Model &model,
                                    EngineConfig engine_config,
@@ -25,7 +17,15 @@ InferenceService::InferenceService(const Model &model,
       service_config_(service_config),
       queue_(service_config.queue_capacity == 0
                  ? 1
-                 : service_config.queue_capacity)
+                 : service_config.queue_capacity),
+      metrics_(service_config.metrics
+                   ? service_config.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      requests_ctr_(metrics_->counter("serve.requests_total")),
+      completed_ctr_(metrics_->counter("serve.completed_total")),
+      failed_ctr_(metrics_->counter("serve.failed_total")),
+      rejected_ctr_(metrics_->counter("serve.rejected_total")),
+      latency_hist_(metrics_->histogram("serve.latency_ms"))
 {
     // Fail fast: a malformed config must never reach replica threads.
     service_config_.validate();
@@ -68,7 +68,23 @@ InferenceService::worker_loop(std::size_t replica)
         unpark_.wait(lock, [&] { return started_; });
     }
 
+    obs::TraceSession *named_for = nullptr; // row named once per session
     while (auto job = queue_.pop()) {
+        obs::TraceSession *session = obs::TraceSession::current();
+        std::uint64_t run_start_ns = 0;
+        if (session) {
+            if (session != named_for) {
+                char row[32];
+                std::snprintf(row, sizeof row, "replica %zu", replica);
+                session->name_thread(obs::Track::kServe, row);
+                named_for = session;
+            }
+            if (job->enq_ns != 0)
+                session->span(obs::Track::kServe, "queue-wait",
+                              job->enq_ns, session->now_ns());
+            run_start_ns = session->now_ns();
+        }
+
         auto begin = std::chrono::steady_clock::now();
         bool ok = true;
         RunResult result;
@@ -81,9 +97,25 @@ InferenceService::worker_loop(std::size_t replica)
         }
         auto end = std::chrono::steady_clock::now();
 
+        if (session) {
+            session->span(obs::Track::kServe, ok ? "run" : "run (failed)",
+                          run_start_ns, session->now_ns());
+            // Drop the engine's cycle-domain unit trace onto the same
+            // timeline, anchored at the instant this replica started
+            // the modeled run.
+            if (ok && !result.stats.trace.empty())
+                session->add_cycle_trace(
+                    result.stats.trace,
+                    obs::CycleClockMap{run_start_ns,
+                                       result.stats.clock_mhz});
+        }
+
         // Record telemetry BEFORE fulfilling the promise: a caller
         // that calls stats() right after future.get() must see this
         // request counted.
+        latency_hist_.record(ms_between(job->enqueued, end));
+        completed_ctr_.add(ok);
+        failed_ctr_.add(!ok);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ReplicaStats &rs = replica_stats_[replica];
@@ -91,13 +123,6 @@ InferenceService::worker_loop(std::size_t replica)
             rs.busy_ms += ms_between(begin, end);
             completed_ += ok;
             failed_ += !ok;
-            double latency = ms_between(job->enqueued, end);
-            if (latencies_ms_.size() < kLatencyWindow) {
-                latencies_ms_.push_back(latency);
-            } else {
-                latencies_ms_[latency_cursor_] = latency;
-                latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-            }
         }
         idle_.notify_all();
 
@@ -116,7 +141,10 @@ InferenceService::enqueue(GraphSample sample, const RunOptions &opts)
     job.sample = std::move(sample);
     job.opts = opts;
     job.enqueued = std::chrono::steady_clock::now();
+    if (obs::TraceSession *session = obs::TraceSession::current())
+        job.enq_ns = session->now_ns();
     std::future<RunResult> future = job.promise.get_future();
+    requests_ctr_.add(1);
 
     // Count the request as accepted before it can possibly complete,
     // so drain()'s "all accepted work done" condition never observes
@@ -135,6 +163,7 @@ InferenceService::enqueue(GraphSample sample, const RunOptions &opts)
             --submitted_;
             rejected_ += reject;
         }
+        rejected_ctr_.add(reject);
         idle_.notify_all();
     };
 
@@ -175,6 +204,7 @@ InferenceService::submit_batch(std::vector<GraphSample> samples)
             // Shed the tail, keep the accepted prefix's futures. The
             // overflowing sample was already counted rejected by
             // submit(); the unattempted tail is shed load too.
+            rejected_ctr_.add(samples.size() - i - 1);
             std::lock_guard<std::mutex> lock(mutex_);
             rejected_ += samples.size() - i - 1;
             break;
@@ -224,11 +254,12 @@ InferenceService::stats() const
     out.throughput_gps = out.uptime_ms <= 0.0
         ? 0.0
         : static_cast<double>(completed_) * 1e3 / out.uptime_ms;
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    out.p50_ms = percentile(sorted, 0.50);
-    out.p95_ms = percentile(sorted, 0.95);
-    out.p99_ms = percentile(sorted, 0.99);
+    // Full-lifetime percentiles from the shared log-bucket histogram
+    // (each within ~alpha relative error of exact; see obs/metrics.h).
+    obs::HistogramSnapshot lat = latency_hist_.snapshot();
+    out.p50_ms = lat.quantile(0.50);
+    out.p95_ms = lat.quantile(0.95);
+    out.p99_ms = lat.quantile(0.99);
     out.queue_peak_occupancy = queue_.peak_occupancy();
     out.queue_capacity = queue_.capacity();
     out.blocked_producers = queue_.waiting_producers();

@@ -22,11 +22,13 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "serve/bounded_queue.h"
 
 namespace flowgnn {
@@ -61,6 +63,12 @@ struct ServiceConfig {
     /** Construct workers parked; no request is executed until start().
      * Lets tests and batch loaders fill the queue deterministically. */
     bool start_paused = false;
+    /** Metrics sink. The service registers serve.* counters and the
+     * serve.latency_ms histogram here; pass a shared registry (e.g.
+     * obs::MetricsRegistry::global()) to aggregate with other
+     * subsystems, or leave null for a private one. ServiceStats is a
+     * typed view over these metrics either way. */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 
     void
     validate() const
@@ -90,9 +98,13 @@ struct ServiceStats {
     double uptime_ms = 0.0;
     /** Completed graphs per second of wall time. */
     double throughput_gps = 0.0;
-    /** Submit-to-completion wall latency percentiles (ms), over a
-     * sliding window of the most recent completions so a long-lived
-     * service's telemetry stays O(1) in memory. */
+    /** Submit-to-completion wall latency percentiles (ms) over the
+     * FULL service lifetime, read from the shared serve.latency_ms
+     * log-bucketed histogram: O(1) memory regardless of request
+     * count, and each reported quantile is within relative error
+     * alpha (= obs::Histogram's default 1%) of the exact
+     * order-statistic — see obs/metrics.h for the bound's
+     * derivation. */
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
@@ -111,6 +123,10 @@ struct InferenceJob {
     RunOptions opts;
     std::promise<RunResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /** Submit instant in the installed TraceSession's clock (0 when
+     * no session was installed at submit time); lets the replica emit
+     * the queue-wait span on the request's true timeline. */
+    std::uint64_t enq_ns = 0;
 };
 
 /**
@@ -188,9 +204,19 @@ class InferenceService
     std::size_t completed_ = 0;
     std::size_t failed_ = 0;
     std::size_t rejected_ = 0;
-    std::vector<double> latencies_ms_; ///< ring of recent latencies
-    std::size_t latency_cursor_ = 0;
     std::vector<ReplicaStats> replica_stats_;
+
+    // Shared-registry metrics (declared after service_config_ so the
+    // registry resolves first). The counters mirror the mutex-guarded
+    // tallies above — those stay because drain()'s condition variable
+    // needs a consistent submitted/completed view under mutex_.
+    std::shared_ptr<obs::MetricsRegistry> metrics_;
+    obs::Counter &requests_ctr_;
+    obs::Counter &completed_ctr_;
+    obs::Counter &failed_ctr_;
+    obs::Counter &rejected_ctr_;
+    obs::Histogram &latency_hist_;
+
     std::chrono::steady_clock::time_point epoch_;
     std::chrono::steady_clock::time_point stop_time_;
     bool stopped_ = false;

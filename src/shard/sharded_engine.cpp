@@ -1,10 +1,12 @@
 #include "shard/sharded_engine.h"
 
+#include <cstdio>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "ghost/ghost_engine.h"
+#include "obs/trace_session.h"
 
 namespace flowgnn {
 
@@ -34,14 +36,22 @@ ShardedEngine::run(const GraphSample &sample, const RunOptions &opts) const
     // planning, execution, and composition all route through
     // src/ghost. Same result shape, same exactness contract.
     if (shard_config_.mode == ShardMode::kGhostExchange) {
-        GhostPlan ghost_plan =
-            make_ghost_plan(model_, prepared, shard_config_);
+        GhostPlan ghost_plan;
+        {
+            obs::Span span(obs::Track::kShard, "ghost plan");
+            ghost_plan = make_ghost_plan(model_, prepared,
+                                         shard_config_);
+        }
         return run_ghost_plan(model_, engine_.config(), prepared,
                               std::move(ghost_plan), opts,
                               shard_config_.link);
     }
 
-    ShardPlan plan = make_shard_plan(model_, prepared, shard_config_);
+    ShardPlan plan;
+    {
+        obs::Span span(obs::Track::kShard, "shard plan");
+        plan = make_shard_plan(model_, prepared, shard_config_);
+    }
     std::vector<RunResult> results(plan.slices.size());
 
     if (!plan.sharded) {
@@ -58,6 +68,10 @@ ShardedEngine::run(const GraphSample &sample, const RunOptions &opts) const
             for (std::size_t t = 0; t < plan.slices.size(); ++t) {
                 threads.emplace_back([&, t] {
                     try {
+                        char nm[32];
+                        std::snprintf(nm, sizeof nm, "slice %zu/%zu",
+                                      t, plan.slices.size());
+                        obs::Span span(obs::Track::kShard, nm);
                         RunWorkspace ws;
                         results[t] = engine_.run_prepared(
                             plan.slices[t].sub, opts, ws);
@@ -74,6 +88,7 @@ ShardedEngine::run(const GraphSample &sample, const RunOptions &opts) const
                 std::rethrow_exception(err);
     }
 
+    obs::Span span(obs::Track::kShard, "merge");
     return merge_shard_results(model_, prepared, std::move(plan),
                                std::move(results), shard_config_.link);
 }
