@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared plumbing for the flowgnn fuzz harnesses (flowgnn::check
+ * satellite): the loaders under test take file *paths*, so each input
+ * byte-buffer is materialized as an anonymous in-memory file
+ * (memfd_create) addressed via /proc/self/fd — no disk I/O, no
+ * tmpfile cleanup, and ASan sees every byte of the mapping.
+ *
+ * Two build shapes share every harness:
+ *  - clang -fsanitize=fuzzer,address: libFuzzer drives
+ *    LLVMFuzzerTestOneInput (the CI smoke run).
+ *  - any compiler, FLOWGNN_FUZZERS=ON without libFuzzer: each harness
+ *    links fuzz/standalone_main.cpp, which replays the checked-in
+ *    corpus files through the same entry point — so the corpus is a
+ *    regression suite even where libFuzzer does not exist (GCC
+ *    containers, the tier-1 box).
+ */
+#ifndef FLOWGNN_FUZZ_FUZZ_COMMON_H
+#define FLOWGNN_FUZZ_FUZZ_COMMON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace flowgnn_fuzz {
+
+/** Anonymous in-memory file holding one fuzz input; the path is valid
+ * for this process while the object lives. */
+class MemFile
+{
+  public:
+    MemFile(const std::uint8_t *data, std::size_t size)
+    {
+        fd_ = ::memfd_create("flowgnn-fuzz", 0);
+        if (fd_ < 0)
+            throw std::runtime_error("memfd_create failed");
+        std::size_t off = 0;
+        while (off < size) {
+            ssize_t n = ::write(fd_, data + off, size - off);
+            if (n <= 0) {
+                ::close(fd_);
+                throw std::runtime_error("memfd write failed");
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "/proc/self/fd/%d", fd_);
+        path_ = buf;
+    }
+
+    ~MemFile()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    MemFile(const MemFile &) = delete;
+    MemFile &operator=(const MemFile &) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace flowgnn_fuzz
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+#endif // FLOWGNN_FUZZ_FUZZ_COMMON_H

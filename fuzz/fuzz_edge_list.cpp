@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fuzz harness for the SNAP/CSV edge-list parser — the surface that
+ * eats raw downloaded text. Exercises both tokenizer dialects
+ * (whitespace-separated SNAP with '#' comments, and comma-separated
+ * CSV rows) plus the bounded carry buffer for lines spanning read
+ * chunks; any input must either parse or throw GraphFileError.
+ *
+ * The first input byte selects the num_nodes mode (derive vs pinned
+ * small bound) so the fuzzer explores both the "derive max id" and
+ * the "endpoint >= num_nodes is an error" paths.
+ */
+#include "fuzz/fuzz_common.h"
+
+#include "io/edge_list.h"
+#include "io/graph_file.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size == 0 || size > (1u << 20))
+        return 0;
+
+    flowgnn::EdgeListOptions options;
+    options.num_nodes = (data[0] & 1) ? 0 : 1 + (data[0] >> 1);
+
+    flowgnn_fuzz::MemFile file(data + 1, size - 1);
+    try {
+        flowgnn::CooGraph g =
+            flowgnn::parse_snap_edge_list(file.path(), options);
+        (void)g;
+    } catch (const flowgnn::GraphFileError &) {
+        // Expected: malformed input, rejected with a message.
+    }
+    return 0;
+}

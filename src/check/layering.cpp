@@ -1,0 +1,331 @@
+#include "check/layering.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowgnn {
+namespace check {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void
+spec_error(std::size_t line_no, const std::string &what)
+{
+    throw std::runtime_error("layer spec line " +
+                             std::to_string(line_no) + ": " + what);
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+} // namespace
+
+LayerSpec
+parse_layer_spec(std::istream &in)
+{
+    LayerSpec spec;
+    // Direct dependencies first; the closure is computed once every
+    // layer is known (the spec may name layers before defining them).
+    std::map<std::string, std::vector<std::string>> direct;
+    std::vector<std::size_t> layer_lines;
+    std::string line;
+    std::size_t line_no = 0;
+    std::vector<std::pair<std::size_t, std::pair<std::string, std::string>>>
+        pending_paths;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        if (tokens[0] == "layer") {
+            if (tokens.size() < 3 || tokens[2] != ":")
+                spec_error(line_no,
+                           "expected `layer <name> : [<dep> ...]`");
+            const std::string &name = tokens[1];
+            if (direct.count(name))
+                spec_error(line_no, "duplicate layer '" + name + "'");
+            direct[name].assign(tokens.begin() + 3, tokens.end());
+        } else if (tokens[0] == "path") {
+            if (tokens.size() != 3)
+                spec_error(line_no, "expected `path <prefix> <layer>`");
+            pending_paths.push_back({line_no, {tokens[1], tokens[2]}});
+        } else {
+            spec_error(line_no, "unknown directive '" + tokens[0] + "'");
+        }
+    }
+
+    for (const auto &[name, deps] : direct)
+        for (const std::string &dep : deps)
+            if (!direct.count(dep))
+                throw std::runtime_error("layer '" + name +
+                                         "' depends on undefined layer '" +
+                                         dep + "'");
+    for (const auto &[ln, rule] : pending_paths) {
+        if (!direct.count(rule.second))
+            spec_error(ln, "path rule names undefined layer '" +
+                               rule.second + "'");
+        spec.path_rules.push_back(rule);
+    }
+
+    // Transitive closure by fixpoint; the spec is tiny, so quadratic
+    // rounds cost nothing and need no cycle bookkeeping (a dependency
+    // cycle between layers simply converges to equal sets — and then
+    // every cross-layer edge inside it is allowed, which the spec
+    // author presumably did not intend but is free to write).
+    for (const auto &[name, deps] : direct) {
+        auto &closed = spec.allowed[name];
+        closed.insert(name);
+        closed.insert(deps.begin(), deps.end());
+    }
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (auto &[name, closed] : spec.allowed) {
+            std::set<std::string> next = closed;
+            for (const std::string &dep : closed)
+                next.insert(spec.allowed.at(dep).begin(),
+                            spec.allowed.at(dep).end());
+            if (next.size() != closed.size()) {
+                closed = std::move(next);
+                grew = true;
+            }
+        }
+    }
+    return spec;
+}
+
+std::string
+layer_of(const LayerSpec &spec, const std::string &path)
+{
+    const std::string *best_layer = nullptr;
+    std::size_t best_len = 0;
+    for (const auto &[prefix, layer] : spec.path_rules) {
+        if (path.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (!best_layer || prefix.size() > best_len) {
+            best_layer = &layer;
+            best_len = prefix.size();
+        }
+    }
+    return best_layer ? *best_layer : std::string();
+}
+
+IncludeGraph
+scan_includes(const std::string &root)
+{
+    fs::path base(root);
+    std::error_code ec;
+    if (!fs::is_directory(base, ec))
+        throw std::runtime_error("not a directory: " + root);
+
+    IncludeGraph graph;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &file : files) {
+        std::string rel =
+            file.lexically_relative(base).generic_string();
+        auto &edges = graph[rel]; // every file gets a node
+        std::ifstream in(file);
+        std::string line;
+        while (std::getline(in, line)) {
+            // Hand-rolled instead of std::regex: this runs over every
+            // line of the tree in the fail-early lint job.
+            std::size_t pos = line.find_first_not_of(" \t");
+            if (pos == std::string::npos || line[pos] != '#')
+                continue;
+            pos = line.find_first_not_of(" \t", pos + 1);
+            if (pos == std::string::npos ||
+                line.compare(pos, 7, "include") != 0)
+                continue;
+            std::size_t open = line.find('"', pos + 7);
+            if (open == std::string::npos)
+                continue;
+            std::size_t close = line.find('"', open + 1);
+            if (close == std::string::npos)
+                continue;
+            std::string inc = line.substr(open + 1, close - open - 1);
+            // Only in-tree targets participate in layering. Quoted
+            // includes in this tree are all root-relative; a relative
+            // include of a sibling would resolve from the includer's
+            // directory, which we do not support (and the style does
+            // not use).
+            if (fs::is_regular_file(base / inc, ec))
+                edges.push_back(inc);
+        }
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()),
+                    edges.end());
+    }
+    return graph;
+}
+
+namespace {
+
+/** Iterative DFS cycle finder. Colors: 0 white, 1 on stack, 2 done.
+ * Each cycle is reported once, keyed by its lexicographically
+ * smallest rotation. */
+void
+find_cycles(const IncludeGraph &graph, std::vector<Violation> &out)
+{
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::set<std::vector<std::string>> seen;
+
+    // Recursive lambda via explicit stack of (node, next-edge index)
+    // so pathological include depths cannot overflow the C stack.
+    struct Frame {
+        const std::string *node;
+        std::size_t edge = 0;
+    };
+
+    for (const auto &[start, _] : graph) {
+        if (color[start] != 0)
+            continue;
+        std::vector<Frame> frames{{&start}};
+        color[start] = 1;
+        stack.push_back(start);
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &edges = graph.at(*f.node);
+            if (f.edge < edges.size()) {
+                const std::string &next = edges[f.edge++];
+                auto it = graph.find(next);
+                if (it == graph.end())
+                    continue; // include of a non-scanned file
+                int &c = color[next];
+                if (c == 0) {
+                    c = 1;
+                    stack.push_back(next);
+                    frames.push_back({&it->first});
+                } else if (c == 1) {
+                    // Found a cycle: the chain from `next`'s position
+                    // on the stack down to the top, closed back.
+                    auto pos = std::find(stack.begin(), stack.end(),
+                                         next);
+                    std::vector<std::string> chain(pos, stack.end());
+                    // Canonical rotation for dedup.
+                    std::vector<std::string> key = chain;
+                    auto min_it =
+                        std::min_element(key.begin(), key.end());
+                    std::rotate(key.begin(), min_it, key.end());
+                    if (seen.insert(key).second) {
+                        chain.push_back(next); // close the walk
+                        std::string msg = "include cycle: ";
+                        for (std::size_t i = 0; i < chain.size(); ++i) {
+                            if (i)
+                                msg += " -> ";
+                            msg += chain[i];
+                        }
+                        out.push_back({Violation::Kind::kCycle,
+                                       std::move(chain),
+                                       std::move(msg)});
+                    }
+                }
+            } else {
+                color[*f.node] = 2;
+                stack.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Violation>
+check_layering(const LayerSpec &spec, const IncludeGraph &graph)
+{
+    std::vector<Violation> out;
+
+    for (const auto &[file, _] : graph) {
+        if (layer_of(spec, file).empty())
+            out.push_back(
+                {Violation::Kind::kUnmappedFile,
+                 {file},
+                 "no path rule maps '" + file +
+                     "' to a layer (add it to the layer spec)"});
+    }
+
+    for (const auto &[file, edges] : graph) {
+        const std::string from_layer = layer_of(spec, file);
+        if (from_layer.empty())
+            continue; // already reported as unmapped
+        const auto &allowed = spec.allowed.at(from_layer);
+        for (const std::string &inc : edges) {
+            const std::string to_layer = layer_of(spec, inc);
+            if (to_layer.empty())
+                continue; // ditto
+            if (!allowed.count(to_layer))
+                out.push_back(
+                    {Violation::Kind::kBackEdge,
+                     {file, inc},
+                     "layering back-edge: " + file + " (layer " +
+                         from_layer + ") -> " + inc + " (layer " +
+                         to_layer + "); '" + from_layer +
+                         "' may not depend on '" + to_layer + "'"});
+        }
+    }
+
+    find_cycles(graph, out);
+    return out;
+}
+
+int
+run_layering_check(const std::string &root,
+                   const std::string &spec_path, std::ostream &out)
+{
+    LayerSpec spec;
+    IncludeGraph graph;
+    try {
+        std::ifstream spec_in(spec_path);
+        if (!spec_in) {
+            out << "check_layering: cannot open spec: " << spec_path
+                << "\n";
+            return 2;
+        }
+        spec = parse_layer_spec(spec_in);
+        graph = scan_includes(root);
+    } catch (const std::exception &e) {
+        out << "check_layering: " << e.what() << "\n";
+        return 2;
+    }
+
+    std::vector<Violation> violations = check_layering(spec, graph);
+    for (const Violation &v : violations)
+        out << v.message << "\n";
+    if (!violations.empty()) {
+        out << "check_layering: " << violations.size()
+            << " violation(s) in " << graph.size() << " files\n";
+        return 1;
+    }
+    out << "check_layering: OK (" << graph.size() << " files, "
+        << spec.allowed.size() << " layers)\n";
+    return 0;
+}
+
+} // namespace check
+} // namespace flowgnn

@@ -4,6 +4,13 @@
  * the multi-queue dataflow (paper Fig. 3(b)). A full queue exerts
  * backpressure on the NT-to-MP adapter, which in turn stalls the NT
  * unit's output stream, exactly as an HLS stream would.
+ *
+ * Concurrency contract: this type models hardware inside one
+ * single-threaded cycle-stepped engine and is deliberately
+ * unsynchronized — it carries no thread-safety annotations because it
+ * has no locks. The thread-safe software counterpart is
+ * serve/bounded_queue.h's BoundedQueue, which wraps a Fifo behind an
+ * annotated flowgnn::Mutex (core/sync.h).
  */
 #ifndef FLOWGNN_CORE_FIFO_H
 #define FLOWGNN_CORE_FIFO_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * flowgnn::check — the annotated lock primitives every mutex-guarded
+ * structure in the tree uses.
+ *
+ * std::mutex carries no thread-safety attributes in libstdc++, so
+ * Clang Thread Safety Analysis cannot see std::lock_guard /
+ * std::unique_lock acquisitions at all. These thin wrappers restore
+ * visibility: Mutex is an annotated capability over std::mutex,
+ * MutexLock / UniqueLock are annotated scoped holds (the lock_guard /
+ * unique_lock equivalents), and CondVar is a condition variable that
+ * waits on a UniqueLock (std::condition_variable_any — the standard
+ * requires std::unique_lock<std::mutex> for plain condition_variable,
+ * which would hide the acquisition again).
+ *
+ * Runtime behavior is identical to the std types they wrap; under
+ * ThreadSanitizer they instrument exactly like std::mutex. The shapes
+ * (pointer member, conditional destructor release, relockable scoped
+ * capability) deliberately mirror the canonical examples in the clang
+ * Thread Safety Analysis documentation and abseil's MutexLock /
+ * ReleasableMutexLock, which the analysis is known to handle.
+ *
+ * Wait-predicate convention: a predicate lambda that reads guarded
+ * state must carry the capability it relies on —
+ *     cv_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) { ... });
+ * CondVar::wait calls the predicate with the lock held, so the
+ * contract is genuine, and the annotation lets the analysis check the
+ * lambda body like any other REQUIRES function.
+ */
+#ifndef FLOWGNN_CORE_SYNC_H
+#define FLOWGNN_CORE_SYNC_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace flowgnn {
+
+/** Annotated exclusive capability over std::mutex. */
+class FLOWGNN_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() FLOWGNN_ACQUIRE()
+    {
+        m_.lock();
+    }
+
+    void
+    unlock() FLOWGNN_RELEASE()
+    {
+        m_.unlock();
+    }
+
+    bool
+    try_lock() FLOWGNN_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/** std::lock_guard equivalent: holds for the full scope. */
+class FLOWGNN_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex *mu) FLOWGNN_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_->lock();
+    }
+
+    ~MutexLock() FLOWGNN_RELEASE() { mu_->unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex *mu_;
+};
+
+/**
+ * std::unique_lock equivalent: relockable (the clang-documented
+ * scoped-capability shape), releases on destruction only if held, and
+ * is the lock type CondVar waits on.
+ */
+class FLOWGNN_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex *mu) FLOWGNN_ACQUIRE(mu)
+        : mu_(mu), owned_(true)
+    {
+        mu_->lock();
+    }
+
+    ~UniqueLock() FLOWGNN_RELEASE()
+    {
+        if (owned_)
+            mu_->unlock();
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void
+    lock() FLOWGNN_ACQUIRE()
+    {
+        mu_->lock();
+        owned_ = true;
+    }
+
+    void
+    unlock() FLOWGNN_RELEASE()
+    {
+        mu_->unlock();
+        owned_ = false;
+    }
+
+    bool owns_lock() const { return owned_; }
+
+  private:
+    Mutex *mu_;
+    bool owned_;
+};
+
+/**
+ * Condition variable waiting on a UniqueLock. wait() re-establishes
+ * the lock before returning (and before every predicate evaluation),
+ * exactly like std::condition_variable — the capability is held on
+ * entry and on exit, which is all the static analysis needs; the
+ * transient release inside the wait is invisible to it by design.
+ */
+class CondVar
+{
+  public:
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    // The bodies are excluded from analysis: they relock through
+    // std::condition_variable_any and invoke REQUIRES-annotated
+    // predicates, a dynamic hold the static analysis cannot follow
+    // (the sanctioned primitive-internal escape; see DESIGN.md).
+    void
+    wait(UniqueLock &lock) FLOWGNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        cv_.wait(lock);
+    }
+
+    template <typename Pred>
+    void
+    wait(UniqueLock &lock, Pred pred) FLOWGNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        while (!pred())
+            cv_.wait(lock);
+    }
+
+    template <typename Rep, typename Period, typename Pred>
+    bool
+    wait_for(UniqueLock &lock,
+             const std::chrono::duration<Rep, Period> &rel_time,
+             Pred pred) FLOWGNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cv_.wait_for(lock, rel_time, std::move(pred));
+    }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_CORE_SYNC_H

@@ -1,6 +1,8 @@
 #include "io/fgnb_layout.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -14,6 +16,23 @@ namespace io {
 fgnb_fail(const std::string &path, const std::string &reason)
 {
     throw GraphFileError("graph file '" + path + "': " + reason);
+}
+
+std::string
+errno_message(int err)
+{
+    char buf[256] = {};
+#if defined(_GNU_SOURCE) || (defined(__GLIBC__) && defined(__USE_GNU))
+    // GNU strerror_r may return a pointer into a static table instead
+    // of filling buf; either way the returned pointer is the message
+    // and the call itself is thread-safe.
+    return std::string(strerror_r(err, buf, sizeof buf));
+#else
+    // XSI strerror_r fills buf and returns an int.
+    if (strerror_r(err, buf, sizeof buf) != 0)
+        std::snprintf(buf, sizeof buf, "errno %d", err);
+    return std::string(buf);
+#endif
 }
 
 std::uint64_t

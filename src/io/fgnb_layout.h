@@ -69,6 +69,13 @@ inline constexpr std::uint64_t kMaxFeatureDim = 1u << 20;
 [[noreturn]] void fgnb_fail(const std::string &path,
                             const std::string &reason);
 
+/**
+ * Thread-safe strerror: io error paths run on replica/die/parallel
+ * worker threads, where std::strerror's shared static buffer is a
+ * data race (clang-tidy concurrency-mt-unsafe). Wraps strerror_r.
+ */
+std::string errno_message(int err);
+
 /** Payload section sizes implied by a header, in emission order.
  * Never overflows: fgnb_validate_header has bounded num_nodes /
  * num_edges to 2^32 and dims to kMaxFeatureDim, so every term fits in

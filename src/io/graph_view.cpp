@@ -32,8 +32,10 @@ MappedFile::MappedFile(const std::string &path)
                             PROT_READ, MAP_PRIVATE, fd, 0);
         if (addr == MAP_FAILED) {
             ::close(fd);
-            fgnb_fail(path, std::string("mmap failed: ") +
-                                std::strerror(errno));
+            // errno_message, not std::strerror: this constructor runs
+            // on parallel loader threads (concurrency-mt-unsafe).
+            fgnb_fail(path,
+                      "mmap failed: " + errno_message(errno));
         }
         data_ = static_cast<unsigned char *>(addr);
     }

@@ -254,7 +254,7 @@ MetricsSnapshot::write_prometheus(std::ostream &os) const
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Entry &e = metrics_[name];
     if (e.gauge || e.histogram)
         throw std::logic_error("MetricsRegistry: '" + name +
@@ -267,7 +267,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Entry &e = metrics_[name];
     if (e.counter || e.histogram)
         throw std::logic_error("MetricsRegistry: '" + name +
@@ -280,7 +280,7 @@ MetricsRegistry::gauge(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name, double alpha)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     Entry &e = metrics_[name];
     if (e.counter || e.gauge)
         throw std::logic_error("MetricsRegistry: '" + name +
@@ -293,7 +293,7 @@ MetricsRegistry::histogram(const std::string &name, double alpha)
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     MetricsSnapshot s;
     for (const auto &[name, e] : metrics_) {
         if (e.counter)

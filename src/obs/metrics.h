@@ -36,10 +36,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace flowgnn {
 namespace obs {
@@ -225,8 +226,8 @@ class MetricsRegistry
         std::unique_ptr<Histogram> histogram;
     };
 
-    mutable std::mutex mutex_; ///< guards the map, not the metrics
-    std::map<std::string, Entry> metrics_;
+    mutable Mutex mutex_; ///< guards the map, not the metrics
+    std::map<std::string, Entry> metrics_ FLOWGNN_GUARDED_BY(mutex_);
 };
 
 } // namespace obs

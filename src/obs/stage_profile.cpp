@@ -98,7 +98,14 @@ Sampler::start()
 {
     if (thread_.joinable())
         return;
-    stopping_ = false;
+    {
+        // Under the lock even though no sampler thread exists yet:
+        // stopping_ is mutex-guarded state, and taking the lock here
+        // keeps the start/stop/start reuse path inside the same
+        // discipline the analysis proves for every other access.
+        MutexLock lock(&mutex_);
+        stopping_ = false;
+    }
     thread_ = std::thread([this] { run(); });
 }
 
@@ -108,7 +115,7 @@ Sampler::stop()
     if (!thread_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -118,14 +125,17 @@ Sampler::stop()
 void
 Sampler::run()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(&mutex_);
     for (;;) {
         lock.unlock();
         tick();
         lock.lock();
         if (stopping_)
             return; // final tick already taken above
-        cv_.wait_for(lock, interval_, [this] { return stopping_; });
+        cv_.wait_for(lock, interval_,
+                     [this]() FLOWGNN_REQUIRES(mutex_) {
+                         return stopping_;
+                     });
         if (stopping_) {
             lock.unlock();
             tick(); // closing sample so short runs record an endpoint

@@ -23,16 +23,15 @@
 #define FLOWGNN_OBS_STAGE_PROFILE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
 
@@ -157,11 +156,13 @@ class Sampler
 
     std::shared_ptr<MetricsRegistry> registry_;
     std::chrono::milliseconds interval_;
+    // probes_ is immutable once start() spawns the thread (add_probe's
+    // documented contract), so the sampler thread reads it unlocked.
     std::vector<Probe> probes_;
     std::thread thread_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    bool stopping_ FLOWGNN_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace obs

@@ -89,7 +89,7 @@ TraceSession::buffer_for_this_thread()
         t_cache.buffer)
         return *static_cast<ThreadBuffer *>(t_cache.buffer);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     buffers_.push_back(
         std::make_unique<ThreadBuffer>(options_.buffer_capacity));
     ThreadBuffer &buf = *buffers_.back();
@@ -160,7 +160,7 @@ void
 TraceSession::name_row(Track track, std::uint32_t tid,
                        std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     row_names_[{static_cast<std::uint8_t>(track), tid}] =
         std::string(name);
 }
@@ -198,7 +198,7 @@ TraceSession::write_chrome_trace(std::ostream &os) const
     std::vector<ThreadBuffer *> buffers;
     std::map<std::pair<std::uint8_t, std::uint32_t>, std::string> names;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         buffers.reserve(buffers_.size());
         for (const auto &b : buffers_)
             buffers.push_back(b.get());
@@ -288,7 +288,7 @@ TraceSession::write_chrome_trace(std::ostream &os) const
 std::size_t
 TraceSession::recorded() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::size_t total = 0;
     for (const auto &b : buffers_)
         total += b->published.load(std::memory_order_acquire);
@@ -298,7 +298,7 @@ TraceSession::recorded() const
 std::size_t
 TraceSession::dropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::size_t total = 0;
     for (const auto &b : buffers_)
         total += b->dropped.load(std::memory_order_relaxed);

@@ -44,12 +44,12 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.h"
 #include "core/trace.h"
 
 namespace flowgnn {
@@ -200,11 +200,17 @@ class TraceSession
     TraceOptions options_;
     std::chrono::steady_clock::time_point epoch_;
 
-    mutable std::mutex mutex_; ///< guards buffers_ list + row names
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-    std::uint32_t next_tid_ = 1;
+    // mutex_ guards the buffer *list* and row names only; the
+    // ThreadBuffer contents are single-writer lock-free (records
+    // published by a release-store of `published`, read with acquire —
+    // see the recording-discipline note above), so they stay
+    // un-annotated by design.
+    mutable Mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        FLOWGNN_GUARDED_BY(mutex_);
+    std::uint32_t next_tid_ FLOWGNN_GUARDED_BY(mutex_) = 1;
     std::map<std::pair<std::uint8_t, std::uint32_t>, std::string>
-        row_names_;
+        row_names_ FLOWGNN_GUARDED_BY(mutex_);
 };
 
 /**

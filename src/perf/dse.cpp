@@ -52,7 +52,10 @@ explore_design_space(const Model &model, const GraphSample &probe,
     // work-steal point indices, so a core that finishes a cheap
     // config immediately picks up the next one — no barrier waiting
     // on the slowest config of a batch — while each measurement stays
-    // the deterministic cycle count of that config.
+    // the deterministic cycle count of that config. The sweep's only
+    // shared mutable state is this atomic claim counter (documented
+    // lock-free: each thread writes only the result slot it claimed),
+    // so there is no mutex to annotate here.
     std::atomic<std::size_t> next{0};
     auto evaluate_points = [&] {
         for (std::size_t i = next++; i < points.size(); i = next++) {

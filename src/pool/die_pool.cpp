@@ -29,7 +29,7 @@ DiePool::DiePool(const Model &model, EngineConfig engine_config,
 void
 DiePool::reset_epoch()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     epoch_ = std::chrono::steady_clock::now();
     for (auto &die : dies_) {
         die->stats.busy_ms = 0.0;
@@ -54,7 +54,7 @@ DiePool::record_occupancy(std::chrono::steady_clock::time_point now)
 void
 DiePool::lease(std::size_t die)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // Timestamp under the lock so the occupancy timeline stays
     // monotonic (two dies transitioning concurrently must append in
     // the order they serialize).
@@ -70,7 +70,7 @@ DiePool::lease(std::size_t die)
 void
 DiePool::release(std::size_t die)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto now = std::chrono::steady_clock::now();
     Die &d = *dies_[die];
     d.stats.busy_ms += ms_between(d.lease_start, now);
@@ -81,28 +81,28 @@ DiePool::release(std::size_t die)
 std::size_t
 DiePool::busy() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return busy_;
 }
 
 std::size_t
 DiePool::peak_busy() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return peak_busy_;
 }
 
 double
 DiePool::uptime_ms() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return ms_between(epoch_, std::chrono::steady_clock::now());
 }
 
 std::vector<DieStats>
 DiePool::die_stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     double uptime = ms_between(epoch_, std::chrono::steady_clock::now());
     std::vector<DieStats> out;
     out.reserve(dies_.size());
@@ -117,7 +117,7 @@ DiePool::die_stats() const
 std::vector<OccupancyPoint>
 DiePool::occupancy_timeline() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::vector<OccupancyPoint> out;
     out.reserve(occupancy_.size());
     // Oldest-first: the ring's cursor points at the oldest entry once

@@ -15,10 +15,10 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/sync.h"
 
 namespace flowgnn {
 
@@ -86,20 +86,32 @@ class DiePool
         }
         Engine engine;
         RunWorkspace ws;
+        // lease_start and stats are guarded by the pool's mutex_ —
+        // a nested struct cannot name the enclosing instance's
+        // capability in GUARDED_BY, so the contract is prose here and
+        // checked at the DiePool member functions that touch them
+        // (all hold mutex_).
         std::chrono::steady_clock::time_point lease_start{};
         DieStats stats;
     };
 
-    void record_occupancy(std::chrono::steady_clock::time_point now);
+    void record_occupancy(std::chrono::steady_clock::time_point now)
+        FLOWGNN_REQUIRES(mutex_);
 
+    // The dies_ vector itself is immutable after construction (no
+    // push/pop post-ctor), which is what makes the unlocked engine() /
+    // workspace() accessors sound: they hand out stable references and
+    // the scheduler guarantees one lease holder per die.
     std::vector<std::unique_ptr<Die>> dies_;
 
-    mutable std::mutex mutex_; // guards everything below
-    std::chrono::steady_clock::time_point epoch_;
-    std::size_t busy_ = 0;
-    std::size_t peak_busy_ = 0;
-    std::vector<OccupancyPoint> occupancy_; ///< ring of transitions
-    std::size_t occupancy_cursor_ = 0;
+    mutable Mutex mutex_; // guards everything below
+    std::chrono::steady_clock::time_point epoch_
+        FLOWGNN_GUARDED_BY(mutex_);
+    std::size_t busy_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::size_t peak_busy_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::vector<OccupancyPoint> occupancy_
+        FLOWGNN_GUARDED_BY(mutex_); ///< ring of transitions
+    std::size_t occupancy_cursor_ FLOWGNN_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace flowgnn

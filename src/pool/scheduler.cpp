@@ -86,7 +86,7 @@ void
 PoolScheduler::start()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (started_)
             return;
         started_ = true;
@@ -161,12 +161,16 @@ void
 PoolScheduler::die_loop(std::size_t die)
 {
     obs::TraceSession *named_for = nullptr; // row named once per session
-    std::unique_lock<std::mutex> lock(mutex_);
-    unpark_.wait(lock, [&] { return started_ || shutdown_; });
+    UniqueLock lock(&mutex_);
+    unpark_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
+        return started_ || shutdown_;
+    });
 
     for (;;) {
         Dispatch d;
-        work_.wait(lock, [&] { return shutdown_ || try_pick(d); });
+        work_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
+            return shutdown_ || try_pick(d);
+        });
         if (!d.job) {
             if (shutdown_)
                 return;
@@ -299,7 +303,7 @@ PoolScheduler::finalize(const JobPtr &jobp)
     completed_ctr_.add(ok);
     failed_ctr_.add(!ok);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         PoolPathStats &path = job.sharded_path ? sharded_ : fast_;
         path.completed += ok;
         path.failed += !ok;
@@ -325,10 +329,13 @@ PoolScheduler::finalize(const JobPtr &jobp)
 }
 
 void
-PoolScheduler::admit(const JobPtr &job, PoolPathStats &path)
+PoolScheduler::admit(const JobPtr &job)
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        UniqueLock lock(&mutex_);
+        // Select the path tally under the lock (fast_/sharded_ are
+        // guarded; job->sharded_path is immutable once admitted).
+        PoolPathStats &path = job->sharded_path ? sharded_ : fast_;
         if (closed_)
             throw std::logic_error(
                 "PoolScheduler: submit after shutdown");
@@ -340,7 +347,7 @@ PoolScheduler::admit(const JobPtr &job, PoolPathStats &path)
             }
         } else if (queue_.size() >= config_.queue_capacity) {
             ++blocked_producers_;
-            admit_.wait(lock, [&] {
+            admit_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
                 return closed_ ||
                        queue_.size() < config_.queue_capacity;
             });
@@ -380,7 +387,7 @@ PoolScheduler::enqueue_fast(GraphSample sample, const RunOptions &opts,
     job->plan = make_shard_plan(model_, job->prepared, whole);
     job->results.resize(job->plan.slices.size());
     std::future<RunResult> future = job->run_promise.get_future();
-    admit(job, fast_);
+    admit(job);
     return future;
 }
 
@@ -465,7 +472,7 @@ PoolScheduler::submit_sharded(GraphSample sample, const ShardConfig &shard,
                                   priority, /*deliver_sharded=*/true);
     std::future<ShardedRunResult> future =
         job->sharded_promise.get_future();
-    admit(job, sharded_);
+    admit(job);
     return future;
 }
 
@@ -477,7 +484,7 @@ PoolScheduler::submit_sharded_as_run(GraphSample sample,
     JobPtr job = make_sharded_job(std::move(sample), shard, opts,
                                   priority, /*deliver_sharded=*/false);
     std::future<RunResult> future = job->run_promise.get_future();
-    admit(job, sharded_);
+    admit(job);
     return future;
 }
 
@@ -485,8 +492,8 @@ void
 PoolScheduler::drain()
 {
     start(); // a paused pool would otherwise never become idle
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [&] {
+    UniqueLock lock(&mutex_);
+    idle_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
         return fast_.completed + fast_.failed == fast_.submitted &&
                sharded_.completed + sharded_.failed ==
                    sharded_.submitted;
@@ -497,7 +504,7 @@ void
 PoolScheduler::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (closed_)
             return;
         closed_ = true;
@@ -505,7 +512,7 @@ PoolScheduler::shutdown()
     admit_.notify_all(); // blocked producers observe closed_ and throw
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         shutdown_ = true;
     }
     work_.notify_all();
@@ -519,7 +526,7 @@ PoolScheduler::stats() const
 {
     PoolStats out;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         out.fast = fast_;
         out.sharded = sharded_;
         out.jobs_pending = queue_.size();

@@ -36,12 +36,12 @@
 #ifndef FLOWGNN_POOL_SCHEDULER_H
 #define FLOWGNN_POOL_SCHEDULER_H
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
 #include <thread>
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "pool/die_pool.h"
 #include "serve/service.h"
@@ -219,9 +219,9 @@ class PoolScheduler
     JobPtr make_sharded_job(GraphSample sample, const ShardConfig &shard,
                             const RunOptions &opts, int priority,
                             bool deliver_sharded);
-    void admit(const JobPtr &job, PoolPathStats &path);
+    void admit(const JobPtr &job);
     void die_loop(std::size_t die);
-    bool try_pick(Dispatch &out);
+    bool try_pick(Dispatch &out) FLOWGNN_REQUIRES(mutex_);
     void finalize(const JobPtr &job);
 
     const Model &model_;
@@ -229,20 +229,22 @@ class PoolScheduler
     DiePool pool_;
     std::vector<std::thread> die_threads_;
 
-    mutable std::mutex mutex_; // guards everything below
-    std::condition_variable work_;   ///< dies: task may be pickable
-    std::condition_variable admit_;  ///< producers: queue may have room
-    std::condition_variable idle_;   ///< drain(): a job finished
-    std::condition_variable unpark_; ///< start()
-    bool started_ = false;
-    bool closed_ = false;   ///< no new submissions
-    bool shutdown_ = false; ///< dies may exit
-    std::deque<JobPtr> queue_; ///< jobs with undispatched tasks, FIFO
-    std::size_t tasks_running_ = 0;
-    std::size_t blocked_producers_ = 0;
-    PoolPathStats fast_;
-    PoolPathStats sharded_;
-    std::uint64_t next_job_id_ = 1; ///< labels die-lease trace spans
+    mutable Mutex mutex_; // guards everything below
+    CondVar work_;   ///< dies: task may be pickable
+    CondVar admit_;  ///< producers: queue may have room
+    CondVar idle_;   ///< drain(): a job finished
+    CondVar unpark_; ///< start()
+    bool started_ FLOWGNN_GUARDED_BY(mutex_) = false;
+    bool closed_ FLOWGNN_GUARDED_BY(mutex_) = false; ///< no new submissions
+    bool shutdown_ FLOWGNN_GUARDED_BY(mutex_) = false; ///< dies may exit
+    /** Jobs with undispatched tasks, FIFO. */
+    std::deque<JobPtr> queue_ FLOWGNN_GUARDED_BY(mutex_);
+    std::size_t tasks_running_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::size_t blocked_producers_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    PoolPathStats fast_ FLOWGNN_GUARDED_BY(mutex_);
+    PoolPathStats sharded_ FLOWGNN_GUARDED_BY(mutex_);
+    /** Labels die-lease trace spans. */
+    std::uint64_t next_job_id_ FLOWGNN_GUARDED_BY(mutex_) = 1;
 
     // Shared-registry metrics; the counters mirror the mutex-guarded
     // PoolPathStats (those stay: drain()'s condition needs them

@@ -10,12 +10,11 @@
 #ifndef FLOWGNN_SERVE_BOUNDED_QUEUE_H
 #define FLOWGNN_SERVE_BOUNDED_QUEUE_H
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/fifo.h"
+#include "core/sync.h"
 
 namespace flowgnn {
 
@@ -33,11 +32,12 @@ class BoundedQueue
     bool
     push(T item)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        UniqueLock lock(&mutex_);
         if (!closed_ && fifo_.full()) {
             ++waiting_producers_;
-            not_full_.wait(lock,
-                           [&] { return closed_ || !fifo_.full(); });
+            not_full_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
+                return closed_ || !fifo_.full();
+            });
             --waiting_producers_;
         }
         if (closed_)
@@ -54,7 +54,7 @@ class BoundedQueue
     try_push(T &&item)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             if (closed_ || !fifo_.push(std::move(item)))
                 return false;
         }
@@ -69,9 +69,10 @@ class BoundedQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock,
-                        [&] { return closed_ || !fifo_.empty(); });
+        UniqueLock lock(&mutex_);
+        not_empty_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
+            return closed_ || !fifo_.empty();
+        });
         if (fifo_.empty())
             return std::nullopt;
         std::optional<T> item(fifo_.pop());
@@ -85,7 +86,7 @@ class BoundedQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             closed_ = true;
         }
         not_full_.notify_all();
@@ -95,14 +96,14 @@ class BoundedQueue
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         return fifo_.size();
     }
 
     std::size_t
     capacity() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         return fifo_.capacity();
     }
 
@@ -110,7 +111,7 @@ class BoundedQueue
     std::size_t
     peak_occupancy() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         return fifo_.peak_occupancy();
     }
 
@@ -123,17 +124,17 @@ class BoundedQueue
     std::size_t
     waiting_producers() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         return waiting_producers_;
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    Fifo<T> fifo_;
-    bool closed_ = false;
-    std::size_t waiting_producers_ = 0;
+    mutable Mutex mutex_;
+    CondVar not_full_;
+    CondVar not_empty_;
+    Fifo<T> fifo_ FLOWGNN_GUARDED_BY(mutex_);
+    bool closed_ FLOWGNN_GUARDED_BY(mutex_) = false;
+    std::size_t waiting_producers_ FLOWGNN_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace flowgnn

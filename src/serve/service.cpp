@@ -46,7 +46,7 @@ void
 InferenceService::start()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (started_)
             return;
         started_ = true;
@@ -64,8 +64,9 @@ InferenceService::worker_loop(std::size_t replica)
     RunWorkspace workspace;
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        unpark_.wait(lock, [&] { return started_; });
+        UniqueLock lock(&mutex_);
+        unpark_.wait(lock,
+                     [&]() FLOWGNN_REQUIRES(mutex_) { return started_; });
     }
 
     obs::TraceSession *named_for = nullptr; // row named once per session
@@ -117,7 +118,7 @@ InferenceService::worker_loop(std::size_t replica)
         completed_ctr_.add(ok);
         failed_ctr_.add(!ok);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             ReplicaStats &rs = replica_stats_[replica];
             rs.completed += ok;
             rs.busy_ms += ms_between(begin, end);
@@ -150,7 +151,7 @@ InferenceService::enqueue(GraphSample sample, const RunOptions &opts)
     // so drain()'s "all accepted work done" condition never observes
     // completed > submitted.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (closed_)
             throw std::logic_error(
                 "InferenceService: submit after shutdown");
@@ -159,7 +160,7 @@ InferenceService::enqueue(GraphSample sample, const RunOptions &opts)
 
     auto withdraw = [this](bool reject) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             --submitted_;
             rejected_ += reject;
         }
@@ -205,7 +206,7 @@ InferenceService::submit_batch(std::vector<GraphSample> samples)
             // overflowing sample was already counted rejected by
             // submit(); the unattempted tail is shed load too.
             rejected_ctr_.add(samples.size() - i - 1);
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             rejected_ += samples.size() - i - 1;
             break;
         }
@@ -217,16 +218,17 @@ void
 InferenceService::drain()
 {
     start(); // a paused service would otherwise never become idle
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock,
-               [&] { return completed_ + failed_ == submitted_; });
+    UniqueLock lock(&mutex_);
+    idle_.wait(lock, [&]() FLOWGNN_REQUIRES(mutex_) {
+        return completed_ + failed_ == submitted_;
+    });
 }
 
 void
 InferenceService::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         if (closed_)
             return;
         closed_ = true;
@@ -235,7 +237,7 @@ InferenceService::shutdown()
     queue_.close();
     for (std::thread &worker : workers_)
         worker.join();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_time_ = std::chrono::steady_clock::now();
     stopped_ = true;
 }
@@ -243,7 +245,7 @@ InferenceService::shutdown()
 ServiceStats
 InferenceService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ServiceStats out;
     out.submitted = submitted_;
     out.completed = completed_;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "serve/bounded_queue.h"
 
@@ -195,16 +196,16 @@ class InferenceService
     BoundedQueue<InferenceJob> queue_;
     std::vector<std::thread> workers_;
 
-    mutable std::mutex mutex_; // guards everything below
-    std::condition_variable idle_;
-    std::condition_variable unpark_;
-    bool started_ = false;
-    bool closed_ = false;
-    std::size_t submitted_ = 0;
-    std::size_t completed_ = 0;
-    std::size_t failed_ = 0;
-    std::size_t rejected_ = 0;
-    std::vector<ReplicaStats> replica_stats_;
+    mutable Mutex mutex_; // guards everything below
+    CondVar idle_;
+    CondVar unpark_;
+    bool started_ FLOWGNN_GUARDED_BY(mutex_) = false;
+    bool closed_ FLOWGNN_GUARDED_BY(mutex_) = false;
+    std::size_t submitted_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::size_t completed_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::size_t failed_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::size_t rejected_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    std::vector<ReplicaStats> replica_stats_ FLOWGNN_GUARDED_BY(mutex_);
 
     // Shared-registry metrics (declared after service_config_ so the
     // registry resolves first). The counters mirror the mutex-guarded
@@ -217,9 +218,13 @@ class InferenceService
     obs::Counter &rejected_ctr_;
     obs::Histogram &latency_hist_;
 
+    // epoch_ is written once in the constructor (before any worker
+    // spawns) and immutable afterwards; stop_time_/stopped_ flip once
+    // under mutex_ during shutdown().
     std::chrono::steady_clock::time_point epoch_;
-    std::chrono::steady_clock::time_point stop_time_;
-    bool stopped_ = false;
+    std::chrono::steady_clock::time_point stop_time_
+        FLOWGNN_GUARDED_BY(mutex_);
+    bool stopped_ FLOWGNN_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace flowgnn

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fixture tests for the include-layering lint (flowgnn::check leg 2).
+ * Each fixture materializes a small include-tree on disk, runs the
+ * same run_layering_check() the check_layering binary wraps, and
+ * asserts BOTH the exit code and the reported offending chain — a
+ * lint that cannot prove it fails is not a gate.
+ */
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/layering.h"
+
+namespace fs = std::filesystem;
+using namespace flowgnn::check;
+
+namespace {
+
+/** Temp source tree, removed on destruction. */
+class TempTree
+{
+  public:
+    TempTree()
+    {
+        root_ = fs::temp_directory_path() /
+                ("flowgnn_layering_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+    ~TempTree() { fs::remove_all(root_); }
+
+    void
+    file(const std::string &rel, const std::string &contents)
+    {
+        fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream(p) << contents;
+    }
+
+    std::string
+    spec(const std::string &contents)
+    {
+        fs::path p = root_ / "layering.spec";
+        std::ofstream(p) << contents;
+        return p.string();
+    }
+
+    std::string src() const { return (root_ / "src").string(); }
+
+  private:
+    fs::path root_;
+};
+
+constexpr const char *kSpec = R"(
+layer base :
+layer mid : base
+layer top : mid
+path base base
+path mid mid
+path top top
+)";
+
+} // namespace
+
+TEST(CheckLayeringTest, CleanDagPassesWithExitZero)
+{
+    TempTree tree;
+    tree.file("src/base/a.h", "// no includes\n");
+    tree.file("src/mid/b.h", "#include \"base/a.h\"\n");
+    tree.file("src/top/c.cpp",
+              "#include \"mid/b.h\"\n#include \"base/a.h\"\n");
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check(tree.src(), tree.spec(kSpec), out), 0);
+    EXPECT_NE(out.str().find("OK"), std::string::npos) << out.str();
+}
+
+TEST(CheckLayeringTest, BackEdgeFailsAndNamesTheChain)
+{
+    TempTree tree;
+    tree.file("src/base/a.h", "#include \"top/c.h\"\n"); // illegal
+    tree.file("src/mid/b.h", "#include \"base/a.h\"\n");
+    tree.file("src/top/c.h", "// top\n");
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check(tree.src(), tree.spec(kSpec), out), 1);
+    // The report names both endpoints of the offending edge and both
+    // layers, so the CI log alone identifies the fix.
+    EXPECT_NE(out.str().find("base/a.h"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("top/c.h"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("back-edge"), std::string::npos)
+        << out.str();
+}
+
+TEST(CheckLayeringTest, IncludeCycleFailsAndPrintsClosedWalk)
+{
+    TempTree tree;
+    // Guarded headers in a cycle *compile* (each expansion terminates)
+    // — exactly why the lint must detect cycles structurally.
+    tree.file("src/mid/x.h", "#include \"mid/y.h\"\n");
+    tree.file("src/mid/y.h", "#include \"mid/z.h\"\n");
+    tree.file("src/mid/z.h", "#include \"mid/x.h\"\n");
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check(tree.src(), tree.spec(kSpec), out), 1);
+    EXPECT_NE(out.str().find("include cycle"), std::string::npos)
+        << out.str();
+    // The closed walk: x -> y -> z -> x (starting node repeated).
+    EXPECT_NE(out.str().find("mid/x.h -> mid/y.h -> mid/z.h -> mid/x.h"),
+              std::string::npos)
+        << out.str();
+}
+
+TEST(CheckLayeringTest, UnmappedFileIsAViolation)
+{
+    TempTree tree;
+    tree.file("src/rogue/new_subsystem.h", "// not in the spec\n");
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check(tree.src(), tree.spec(kSpec), out), 1);
+    EXPECT_NE(out.str().find("rogue/new_subsystem.h"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("no path rule"), std::string::npos)
+        << out.str();
+}
+
+TEST(CheckLayeringTest, LongestPrefixRuleCarvesFilesOutOfDirectories)
+{
+    std::istringstream spec(R"(
+layer low :
+layer high : low
+path core low
+path core/special. high
+)");
+    LayerSpec parsed = parse_layer_spec(spec);
+    EXPECT_EQ(layer_of(parsed, "core/plain.h"), "low");
+    EXPECT_EQ(layer_of(parsed, "core/special.h"), "high");
+    EXPECT_EQ(layer_of(parsed, "core/special.cpp"), "high");
+    EXPECT_EQ(layer_of(parsed, "elsewhere/x.h"), "");
+}
+
+TEST(CheckLayeringTest, TransitiveClosureAllowsIndirectDeps)
+{
+    std::istringstream spec(R"(
+layer a :
+layer b : a
+layer c : b
+path a a
+path b b
+path c c
+)");
+    LayerSpec parsed = parse_layer_spec(spec);
+    // c never names a directly, but reaches it through b.
+    EXPECT_TRUE(parsed.allowed.at("c").count("a"));
+    EXPECT_FALSE(parsed.allowed.at("a").count("c"));
+}
+
+TEST(CheckLayeringTest, MalformedSpecExitsTwo)
+{
+    TempTree tree;
+    tree.file("src/base/a.h", "// fine\n");
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check(
+                  tree.src(),
+                  tree.spec("layer base\npath base base\n"), out),
+              2);
+    EXPECT_NE(out.str().find("layer spec line 1"), std::string::npos)
+        << out.str();
+
+    std::ostringstream out2;
+    EXPECT_EQ(run_layering_check(tree.src(),
+                                 tree.spec("layer x : undefined_dep\n"
+                                           "path x x\n"),
+                                 out2),
+              2);
+}
+
+TEST(CheckLayeringTest, MissingRootOrSpecExitsTwo)
+{
+    TempTree tree;
+    std::ostringstream out;
+    EXPECT_EQ(run_layering_check("/nonexistent/src",
+                                 tree.spec(kSpec), out),
+              2);
+    std::ostringstream out2;
+    EXPECT_EQ(run_layering_check(tree.src(),
+                                 "/nonexistent/layering.spec", out2),
+              2);
+}

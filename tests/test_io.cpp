@@ -6,10 +6,12 @@
  * the end-to-end check that a sharded run from a file on disk is
  * bit-identical to the in-memory run of the same graph.
  */
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +19,7 @@
 #include "datasets/dataset.h"
 #include "graph/generators.h"
 #include "io/edge_list.h"
+#include "io/fgnb_layout.h"
 #include "io/graph_file.h"
 #include "io/load.h"
 #include "shard/sharded_engine.h"
@@ -623,6 +626,35 @@ TEST(ShardedFromFileTest, FennelShardedRunBitIdenticalToInMemory)
     EXPECT_EQ(
         max_abs_diff(from_disk.embeddings, never_saved.embeddings),
         0.0f);
+}
+
+TEST(IoErrnoMessage, ProducesDistinctNonEmptyMessages)
+{
+    // Pins the strerror -> strerror_r fix: io error paths run on
+    // parallel loader threads, where std::strerror's shared static
+    // buffer is a data race.
+    std::string enoent = io::errno_message(ENOENT);
+    std::string eacces = io::errno_message(EACCES);
+    EXPECT_FALSE(enoent.empty());
+    EXPECT_FALSE(eacces.empty());
+    EXPECT_NE(enoent, eacces);
+
+    // Concurrent callers each get their own buffer: every thread must
+    // observe the message for *its* errno value, never a neighbor's.
+    std::vector<std::thread> threads;
+    std::vector<std::string> got(8);
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&got, t] {
+            int err = (t % 2 == 0) ? ENOENT : EACCES;
+            for (int i = 0; i < 1000; ++i)
+                got[static_cast<std::size_t>(t)] = io::errno_message(err);
+        });
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < 8; ++t)
+        EXPECT_EQ(got[static_cast<std::size_t>(t)],
+                  (t % 2 == 0) ? enoent : eacces)
+            << "thread " << t;
 }
 
 } // namespace

@@ -531,6 +531,28 @@ TEST(ObsSampler, TicksGaugesAtLeastOnce)
     EXPECT_DOUBLE_EQ(snap.gauges.at("test.answer"), 42.0);
 }
 
+TEST(ObsSampler, RestartAfterStopTicksAgain)
+{
+    // Pins the start() fix: stopping_ must be reset (under the mutex)
+    // on every start, or the second cycle's thread exits immediately
+    // without ever ticking the probes.
+    auto registry = std::make_shared<MetricsRegistry>();
+    int ticks = 0;
+    Sampler sampler(registry, std::chrono::milliseconds(1));
+    sampler.add_probe("test.ticks", Track::kHost,
+                      [&] { return static_cast<double>(++ticks); });
+
+    sampler.start();
+    sampler.stop();
+    int after_first = ticks;
+    EXPECT_GE(after_first, 1);
+
+    sampler.start();
+    sampler.stop();
+    EXPECT_GT(ticks, after_first)
+        << "restarted sampler never ticked: stopping_ was not reset";
+}
+
 } // namespace
 } // namespace obs
 } // namespace flowgnn

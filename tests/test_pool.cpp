@@ -404,6 +404,36 @@ TEST(PoolScheduler, RejectPolicyShedsAndCounts)
     EXPECT_EQ(scheduler.stats().fast.completed, 1u);
 }
 
+TEST(PoolScheduler, RejectionAttributesToTheSubmittingPath)
+{
+    // Pins the admit() path-selection fix: the tally for a rejected
+    // job must land on the path that submitted it (sharded here), and
+    // the path reference must be chosen under the scheduler mutex.
+    Model model = make_model(ModelKind::kGcn16, 16, 0);
+    GraphSample sample = make_random_sample(
+        make_ring_lattice(256, 2), 16, 0, 0x9A);
+
+    ShardConfig shard;
+    shard.num_shards = 2;
+    PoolConfig pool;
+    pool.num_dies = 2;
+    pool.queue_capacity = 1;
+    pool.admission = AdmissionPolicy::kReject;
+    pool.start_paused = true;
+    PoolScheduler scheduler(model, {}, pool);
+
+    auto f1 = scheduler.submit_sharded(sample, shard); // fills the queue
+    EXPECT_THROW(scheduler.submit_sharded(sample, shard),
+                 ServiceOverloaded);
+    PoolStats st = scheduler.stats();
+    EXPECT_EQ(st.sharded.rejected, 1u);
+    EXPECT_EQ(st.fast.rejected, 0u);
+
+    scheduler.drain();
+    EXPECT_NO_THROW(f1.get());
+    EXPECT_EQ(scheduler.stats().sharded.completed, 1u);
+}
+
 TEST(PoolScheduler, SubmitAfterShutdownThrows)
 {
     Model model = make_model(ModelKind::kGcn16, 16, 0);
