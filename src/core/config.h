@@ -7,6 +7,7 @@
 #ifndef FLOWGNN_CORE_CONFIG_H
 #define FLOWGNN_CORE_CONFIG_H
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,40 @@
 #include "tensor/fixed_point.h"
 
 namespace flowgnn {
+
+/**
+ * Cooperative preemption flag. A scheduler hands the token to a run
+ * via RunOptions::preempt and later calls request(); the engine polls
+ * it at every message-passing layer boundary and, when set, yields
+ * with a LayerCheckpoint instead of completing — bounding preemption
+ * delay to one pipeline phase. Lock-free (relaxed atomics: the
+ * checkpoint handoff happens through the scheduler's own mutex).
+ */
+class PreemptToken
+{
+  public:
+    void
+    request()
+    {
+        requested_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    requested() const
+    {
+        return requested_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arms the token (a resumed run may be preempted again). */
+    void
+    reset()
+    {
+        requested_.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> requested_{false};
+};
 
 /** Pipelining strategies of Fig. 4. */
 enum class PipelineMode {
@@ -96,6 +131,14 @@ struct RunOptions {
      */
     bool emulate_fixed_point = false;
     FixedPointFormat fixed_point = kFixed16_10;
+    /**
+     * Cooperative preemption token (borrowed; may be null). Honored
+     * only by Engine::run_resumable and the ghost executor's
+     * resumable path — the plain run()/run_prepared() entry points
+     * ignore it, so existing callers keep run-to-completion
+     * semantics. The token's owner must outlive the run.
+     */
+    PreemptToken *preempt = nullptr;
 
     /** Throws std::invalid_argument on malformed options. */
     void

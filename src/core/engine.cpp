@@ -86,11 +86,36 @@ RunResult
 Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
                      RunWorkspace &ws, unsigned threads) const
 {
+    // Run-to-completion wrapper: a fresh checkpoint and a masked
+    // preemption token, so this entry point keeps its historical
+    // semantics even when callers set RunOptions::preempt.
+    RunOptions whole = opts;
+    whole.preempt = nullptr;
+    LayerCheckpoint ckpt;
+    RunResult result;
+    run_resumable(prepared, whole, ws, ckpt, result, std::size_t(-1),
+                  threads);
+    return result;
+}
+
+SegmentOutcome
+Engine::run_resumable(const SampleRef &prepared, const RunOptions &opts,
+                      RunWorkspace &ws, LayerCheckpoint &ckpt,
+                      RunResult &result, std::size_t max_stages,
+                      unsigned threads) const
+{
     opts.validate();
     const EngineConfig &cfg = config_;
     RunWorkspace::Impl &wsi = *ws.impl_;
     if (!prepared.consistent(threads))
         throw std::invalid_argument("Engine: inconsistent sample");
+    const bool resuming = ckpt.next_stage > 0;
+    if (resuming && ckpt.next_stage >= model_.num_stages())
+        throw std::invalid_argument(
+            "Engine: checkpoint resume point past the last stage");
+    if (resuming && ckpt.embeddings.size() != prepared.num_nodes())
+        throw std::invalid_argument(
+            "Engine: checkpoint does not match the sample");
 
     const NodeId n_nodes = prepared.num_nodes();
     LayerContext ctx =
@@ -128,38 +153,50 @@ Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
         }
     }
 
-    RunResult result;
     RunStats &stats = result.stats;
-    stats.clock_mhz = cfg.clock_mhz;
-    stats.nt_units.assign(cfg.p_node, {});
-    stats.mp_units.assign(cfg.p_edge, {});
-    stats.mp_edge_work.assign(cfg.p_edge, 0);
+    if (resuming) {
+        // Timing accumulated over the completed stages carries over;
+        // everything derived (banks, CSR, schedule) was rebuilt above
+        // from (sample, config) so it cannot drift from the original.
+        stats = std::move(ckpt.stats);
+    } else {
+        stats = RunStats{};
+        stats.clock_mhz = cfg.clock_mhz;
+        stats.nt_units.assign(cfg.p_node, {});
+        stats.mp_units.assign(cfg.p_edge, {});
+        stats.mp_edge_work.assign(cfg.p_edge, 0);
 
-    // Input DMA: nodes, features, and the raw COO edge list stream in
-    // at 64 words/cycle (a conservative fraction of the U50's 460 GB/s
-    // HBM2 bandwidth, ~380 words/cycle at 300 MHz); not overlapped
-    // with compute, as documented in docs/DESIGN.md.
-    stats.load_cycles = ceil_div(
-        std::uint64_t(n_nodes) * (prepared.node_dim + 1) +
-            std::uint64_t(prepared.num_edges()) * (prepared.edge_dim + 2),
-        64);
+        // Input DMA: nodes, features, and the raw COO edge list stream
+        // in at 64 words/cycle (a conservative fraction of the U50's
+        // 460 GB/s HBM2 bandwidth, ~380 words/cycle at 300 MHz); not
+        // overlapped with compute, as documented in docs/DESIGN.md.
+        stats.load_cycles = ceil_div(
+            std::uint64_t(n_nodes) * (prepared.node_dim + 1) +
+                std::uint64_t(prepared.num_edges()) *
+                    (prepared.edge_dim + 2),
+            64);
+    }
 
     // ---- Functional state ----
     const bool quant = opts.emulate_fixed_point;
     const FixedPointFormat &fmt = opts.fixed_point;
     std::vector<Vec> &cur = wsi.cur;
     std::vector<Vec> &out = wsi.out;
-    cur.resize(n_nodes);
     out.resize(n_nodes);
-    for (NodeId i = 0; i < n_nodes; ++i) {
-        if (prepared.node_dim > 0) {
-            const float *row = prepared.node_row(i);
-            cur[i].assign(row, row + prepared.node_dim);
-        } else {
-            cur[i].clear();
+    if (resuming) {
+        cur = std::move(ckpt.embeddings);
+    } else {
+        cur.resize(n_nodes);
+        for (NodeId i = 0; i < n_nodes; ++i) {
+            if (prepared.node_dim > 0) {
+                const float *row = prepared.node_row(i);
+                cur[i].assign(row, row + prepared.node_dim);
+            } else {
+                cur[i].clear();
+            }
+            if (quant)
+                quantize_inplace(cur[i], fmt);
         }
-        if (quant)
-            quantize_inplace(cur[i], fmt);
     }
 
     Aggregator prev_agg;        // aggregator of messages consumed now
@@ -168,6 +205,23 @@ Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
 
     const GatLayer *pending_gat = nullptr; // 'cur' holds projections
     std::unique_ptr<CscGraph> csc;         // built lazily for GAT
+
+    if (resuming) {
+        // The aggregator object and the GAT layer pointer carry no run
+        // state; only their *identity* is checkpointed (have_agg /
+        // pending_gat flags) and both are recovered from the model.
+        prev_state = std::move(ckpt.agg_state);
+        have_prev_agg = ckpt.have_agg;
+        if (have_prev_agg)
+            prev_agg = model_.stage(ckpt.next_stage).aggregator();
+        if (ckpt.pending_gat) {
+            pending_gat = dynamic_cast<const GatLayer *>(
+                &model_.stage(ckpt.next_stage - 1));
+            if (pending_gat == nullptr)
+                throw std::logic_error(
+                    "Engine: checkpoint pending_gat at non-GAT stage");
+        }
+    }
 
     auto combine_pending_gat = [&]() {
         if (pending_gat == nullptr)
@@ -195,8 +249,9 @@ Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
     const std::size_t n_stages = model_.num_stages();
     const std::vector<StageSchedule> schedule =
         build_stage_schedule(model_, cfg);
-    std::uint64_t phase_base = 0;
-    for (std::size_t si = 0; si < n_stages; ++si) {
+    std::uint64_t phase_base = resuming ? ckpt.phase_base : 0;
+    std::size_t stages_this_call = 0;
+    for (std::size_t si = ckpt.next_stage; si < n_stages; ++si) {
         const Layer &stage = model_.stage(si);
         const bool is_gat = (stage.dataflow() == DataflowKind::kMpToNt);
         const bool prev_was_gat = (pending_gat != nullptr);
@@ -333,6 +388,24 @@ Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
         } else {
             have_prev_agg = false;
         }
+
+        // ---- Layer-boundary yield point ----
+        // Checked only after at least one stage completed this call
+        // (progress guarantee) and never after the final stage, whose
+        // epilogue + head are cheaper than a checkpoint round-trip.
+        ++stages_this_call;
+        if (si + 1 < n_stages &&
+            (stages_this_call >= max_stages ||
+             (opts.preempt != nullptr && opts.preempt->requested()))) {
+            ckpt.next_stage = si + 1;
+            ckpt.embeddings = std::move(cur);
+            ckpt.agg_state = std::move(prev_state);
+            ckpt.have_agg = have_prev_agg;
+            ckpt.pending_gat = (pending_gat != nullptr);
+            ckpt.stats = std::move(stats);
+            ckpt.phase_base = phase_base;
+            return SegmentOutcome::kPreempted;
+        }
     }
 
     // Epilogue: final GAT combine if the last stage was attention.
@@ -362,7 +435,10 @@ Engine::run_prepared(const SampleRef &prepared, const RunOptions &opts,
     stats.head_cycles = head_cycles;
     stats.total_cycles += head_cycles + stats.load_cycles;
 
-    return result;
+    // A completed run leaves the checkpoint fresh: the same object can
+    // drive the next job without the caller having to reset it.
+    ckpt = LayerCheckpoint{};
+    return SegmentOutcome::kComplete;
 }
 
 } // namespace flowgnn

@@ -55,6 +55,66 @@ struct RunResult {
 };
 
 /**
+ * Functional + timing state captured at a message-passing layer
+ * boundary — the engine's preemption checkpoint format (see
+ * docs/DESIGN.md "Layer-boundary preemption").
+ *
+ * A boundary after stage k holds exactly three pieces of state:
+ * the embeddings entering stage k+1 (`embeddings`), the message
+ * aggregation scattered during stage k's phase and consumed by stage
+ * k+1 (`agg_state`; the Aggregator object itself is reconstructed
+ * from the model, it carries no run state), and the pending-GAT flag
+ * (stage k was attention: `embeddings` holds projections whose
+ * combine is deferred into stage k+1's prologue). Everything else the
+ * run needs — bank maps, CSR adjacency, stage schedule — is a pure
+ * function of (sample, config) and is rebuilt on resume, which is
+ * what makes resumed runs bit-identical to uninterrupted ones: the
+ * checkpoint stores no derived state that could drift.
+ *
+ * `stats` carries the timing accumulated so far so the resumed run's
+ * RunStats also match the uninterrupted run exactly; the scheduler
+ * accounts preemption overhead (checkpoint store + reload DMA,
+ * priced from checkpoint_words()) on its own ledger, never inside
+ * the run.
+ */
+struct LayerCheckpoint {
+    /** Stages completed; the resume point. 0 = a fresh run. */
+    std::size_t next_stage = 0;
+    /** Per-node embeddings entering `next_stage` (quantized values
+     * are stored post-quantization, so bits are preserved). */
+    std::vector<Vec> embeddings;
+    /** Pending aggregation state (num_nodes x state_dim, flat), the
+     * messages scattered for `next_stage`; empty when have_agg is
+     * false. */
+    std::vector<float> agg_state;
+    bool have_agg = false;
+    /** Stage next_stage-1 was GAT: `embeddings` holds projections. */
+    bool pending_gat = false;
+    /** Timing accumulated over completed stages (load DMA included,
+     * head not yet). */
+    RunStats stats;
+    /** Timing cursor: total phase cycles completed (trace offsets). */
+    std::uint64_t phase_base = 0;
+
+    /** Checkpoint size in 4-byte words — what a scheduler charges as
+     * store/reload DMA when pricing preemption delay. */
+    std::uint64_t
+    checkpoint_words() const
+    {
+        std::uint64_t words = agg_state.size();
+        for (const Vec &row : embeddings)
+            words += row.size();
+        return words;
+    }
+};
+
+/** How a resumable run segment ended. */
+enum class SegmentOutcome {
+    kComplete,  ///< ran to the end; the RunResult is filled
+    kPreempted, ///< yielded at a layer boundary; checkpoint updated
+};
+
+/**
  * Reusable per-run scratch memory. A workspace keeps the graph-sized
  * buffers (bank maps, embedding ping-pong arrays, aggregator state)
  * alive across runs so a long-lived replica's hot path stops paying
@@ -131,6 +191,26 @@ class Engine
     RunResult run_prepared(const SampleRef &prepared,
                            const RunOptions &opts, RunWorkspace &ws,
                            unsigned threads = 0) const;
+
+    /**
+     * Preemptible run: executes stages starting from `ckpt.next_stage`
+     * (0 = fresh run) and either completes the run (`result` is
+     * filled, `ckpt` is reset to fresh) or yields at a message-passing
+     * layer boundary (`ckpt` holds the resume state, `result` is
+     * meaningless). A segment yields when `opts.preempt` is requested
+     * or after `max_stages` stages complete in THIS call — but always
+     * runs at least one stage (progress guarantee) and never yields
+     * after the final stage (the epilogue is cheaper than a
+     * checkpoint). Resuming from the returned checkpoint — on this
+     * engine or any identically-configured one — produces embeddings,
+     * prediction, and RunStats bit-identical to an uninterrupted run.
+     * The checkpoint's buffers are consumed (moved from) on resume.
+     */
+    SegmentOutcome run_resumable(const SampleRef &prepared,
+                                 const RunOptions &opts, RunWorkspace &ws,
+                                 LayerCheckpoint &ckpt, RunResult &result,
+                                 std::size_t max_stages = std::size_t(-1),
+                                 unsigned threads = 0) const;
 
   private:
     const Model &model_;

@@ -199,6 +199,16 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
                const RunOptions &opts, const LinkConfig &link,
                unsigned host_cores)
 {
+    return run_ghost_plan(model, config, prepared, std::move(plan),
+                          opts, link, nullptr, host_cores);
+}
+
+ShardedRunResult
+run_ghost_plan(const Model &model, const EngineConfig &config,
+               const SampleRef &prepared, GhostPlan &&plan,
+               const RunOptions &opts, const LinkConfig &link,
+               GhostResumeState *resume, unsigned host_cores)
+{
     ShardedRunResult out;
     obs::TraceSession *session = obs::TraceSession::current();
     const std::uint64_t run_start_ns =
@@ -207,7 +217,20 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
     if (!plan.sharded) {
         Engine engine(model, config);
         RunWorkspace ws;
-        RunResult r = engine.run_prepared(prepared, opts, ws, host_cores);
+        RunResult r;
+        if (resume != nullptr) {
+            if (engine.run_resumable(prepared, opts, ws,
+                                     resume->checkpoint, r,
+                                     resume->max_stages, host_cores) ==
+                SegmentOutcome::kPreempted) {
+                resume->preempted = true;
+                resume->plan = std::move(plan);
+                return out;
+            }
+            resume->preempted = false;
+        } else {
+            r = engine.run_prepared(prepared, opts, ws, host_cores);
+        }
         out.embeddings = std::move(r.embeddings);
         out.prediction = r.prediction;
         GhostShard &shard = plan.shards.front();
@@ -232,8 +255,25 @@ run_ghost_plan(const Model &model, const EngineConfig &config,
     RunResult func;
     {
         obs::Span span(obs::Track::kGhost, "functional pass");
-        func = Engine(model, func_cfg)
-                   .run_prepared(prepared, opts, func_ws, host_cores);
+        Engine func_engine(model, func_cfg);
+        if (resume != nullptr) {
+            // Only the functional pass checkpoints: it is the sole
+            // carrier of values. The structural per-die pricing below
+            // runs exactly once, on the segment that completes.
+            if (func_engine.run_resumable(prepared, opts, func_ws,
+                                          resume->checkpoint, func,
+                                          resume->max_stages,
+                                          host_cores) ==
+                SegmentOutcome::kPreempted) {
+                resume->preempted = true;
+                resume->plan = std::move(plan);
+                return out;
+            }
+            resume->preempted = false;
+        } else {
+            func = func_engine.run_prepared(prepared, opts, func_ws,
+                                            host_cores);
+        }
     }
     out.embeddings = std::move(func.embeddings);
     out.prediction = func.prediction;

@@ -55,6 +55,52 @@ ShardedRunResult run_ghost_plan(const Model &model,
                                 unsigned threads = 0);
 
 /**
+ * Preemption state for a ghost run. The global functional pass is the
+ * only part of a ghost run that carries values, so it is the only part
+ * that checkpoints: the per-die timing passes are structural (pure
+ * functions of plan + config) and run once, at final completion —
+ * which is why a preempted-and-resumed ghost run is trivially
+ * bit-identical to an uninterrupted one in its timing too.
+ *
+ * On preemption the plan is stashed here (the functional pass never
+ * mutates it); resume by passing `std::move(state.plan)` back into
+ * run_ghost_plan with the same state object.
+ */
+struct GhostResumeState {
+    /** True iff the last call yielded instead of completing. */
+    bool preempted = false;
+    /** The functional pass's layer-boundary checkpoint. */
+    LayerCheckpoint checkpoint;
+    /** The plan, stashed across the preemption (valid iff preempted). */
+    GhostPlan plan;
+    /**
+     * Deterministic slicing hook: yield after this many stages per
+     * call even without a token (std::size_t(-1) = run until the
+     * token fires or the run completes). Used by the preempt-at-k
+     * differential tests; schedulers normally leave it alone and
+     * drive preemption through RunOptions::preempt.
+     */
+    std::size_t max_stages = std::size_t(-1);
+};
+
+/**
+ * Resumable ghost run: like the SampleRef overload, but the global
+ * functional pass honors RunOptions::preempt and `resume->max_stages`,
+ * yielding at message-passing layer boundaries. On preemption the
+ * returned result is empty, `resume->preempted` is true, and the plan
+ * is stashed in `resume->plan`; call again with that plan to continue.
+ * Passing resume == nullptr is exactly the plain overload. Non-sharded
+ * fallback plans are preemptible the same way.
+ */
+ShardedRunResult run_ghost_plan(const Model &model,
+                                const EngineConfig &config,
+                                const SampleRef &prepared,
+                                GhostPlan &&plan, const RunOptions &opts,
+                                const LinkConfig &link,
+                                GhostResumeState *resume,
+                                unsigned threads = 0);
+
+/**
  * Drop-in counterpart of ShardedEngine for ghost mode; ShardedEngine
  * itself routes here when ShardConfig::mode == kGhostExchange, so most
  * callers never name this class.

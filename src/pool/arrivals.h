@@ -1,0 +1,80 @@
+/**
+ * @file
+ * flowgnn::pool — synthetic open-loop arrival generation for serving
+ * experiments: a time-varying Poisson process (diurnal sinusoid plus
+ * an optional multiplicative burst window) sampled by thinning, fully
+ * deterministic under a seed.
+ *
+ * Open-loop means arrivals never wait for completions — the generator
+ * emits timestamps from the rate function alone, so an overloaded
+ * policy sees a growing queue instead of a conveniently slowed
+ * workload (the coordinated-omission trap closed-loop drivers fall
+ * into). Times are modeled kernel cycles so the same trace drives the
+ * cycle-domain schedule simulator exactly and the live pool via
+ * cycles -> wall conversion at the engine clock.
+ */
+#ifndef FLOWGNN_POOL_ARRIVALS_H
+#define FLOWGNN_POOL_ARRIVALS_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace flowgnn {
+
+/** Rate shape for one generated trace. The instantaneous rate is
+ *
+ *   rate(t) = base * (1 + diurnal_amplitude * sin(2*pi*t/period))
+ *             * (burst_factor inside the burst window, else 1)
+ *
+ * with `base` in arrivals per million cycles. */
+struct ArrivalPattern {
+    std::uint64_t horizon_cycles = 1'000'000;
+    /** Mean arrival rate, jobs per 1e6 cycles. */
+    double base_rate_per_mcycle = 50.0;
+    /** Sinusoid depth in [0, 1); 0 = flat. */
+    double diurnal_amplitude = 0.5;
+    std::uint64_t diurnal_period_cycles = 500'000;
+    /** Rate multiplier inside [burst_start, burst_start + burst_len);
+     * the ISSUE's 10x spike. burst_len == 0 disables the burst. */
+    double burst_factor = 10.0;
+    std::uint64_t burst_start_cycles = 0;
+    std::uint64_t burst_len_cycles = 0;
+    std::uint64_t seed = 1;
+
+    void
+    validate() const
+    {
+        if (horizon_cycles == 0)
+            throw std::invalid_argument(
+                "ArrivalPattern: horizon must be positive");
+        if (base_rate_per_mcycle <= 0.0)
+            throw std::invalid_argument(
+                "ArrivalPattern: base rate must be positive");
+        if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0)
+            throw std::invalid_argument(
+                "ArrivalPattern: amplitude must be in [0, 1)");
+        if (diurnal_amplitude > 0.0 && diurnal_period_cycles == 0)
+            throw std::invalid_argument(
+                "ArrivalPattern: period must be positive");
+        if (burst_len_cycles > 0 && burst_factor <= 0.0)
+            throw std::invalid_argument(
+                "ArrivalPattern: burst factor must be positive");
+    }
+};
+
+/** Instantaneous rate at cycle t, jobs per 1e6 cycles. */
+double arrival_rate_at(const ArrivalPattern &pattern, std::uint64_t t);
+
+/**
+ * Generates the sorted arrival cycles over [0, horizon) by Lewis-Shedler
+ * thinning: candidates from a homogeneous Poisson process at the rate
+ * ceiling, each kept with probability rate(t)/ceiling. Deterministic:
+ * same pattern (incl. seed) -> same trace, on every platform (all
+ * randomness flows through tensor/rng.h).
+ */
+std::vector<std::uint64_t> generate_arrivals(const ArrivalPattern &pattern);
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_POOL_ARRIVALS_H

@@ -1,0 +1,134 @@
+#include "pool/autoscaler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace flowgnn {
+
+AutoscalerPolicy::AutoscalerPolicy(AutoscalerConfig config,
+                                   std::size_t initial)
+    : config_(config)
+{
+    config_.validate();
+    target_ = std::min(std::max(initial, config_.min_dies),
+                       config_.max_dies);
+}
+
+std::size_t
+AutoscalerPolicy::step(const AutoscalerWindow &window)
+{
+    ++windows_;
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return target_;
+    }
+    const double active = static_cast<double>(target_);
+    const bool pressure =
+        window.queue_depth > config_.scale_up_queue_per_die * active ||
+        (config_.scale_up_p99_ms > 0.0 &&
+         window.queue_delay_p99_ms > config_.scale_up_p99_ms);
+    if (pressure) {
+        const std::size_t next =
+            std::min(target_ + config_.step_up, config_.max_dies);
+        if (next != target_) {
+            target_ = next;
+            cooldown_ = config_.cooldown_windows;
+        }
+        return target_;
+    }
+    const bool idle =
+        window.queue_depth == 0.0 &&
+        window.busy_dies < config_.scale_down_util * active;
+    if (idle) {
+        const std::size_t shrink =
+            std::min(config_.step_down, target_ - config_.min_dies);
+        if (shrink > 0) {
+            target_ -= shrink;
+            cooldown_ = config_.cooldown_windows;
+        }
+    }
+    return target_;
+}
+
+AutoscalerWindow
+window_from_delta(const obs::MetricsSnapshot &delta)
+{
+    AutoscalerWindow w;
+    auto g = delta.gauges.find("pool.busy_dies");
+    if (g != delta.gauges.end())
+        w.busy_dies = g->second;
+    g = delta.gauges.find("pool.queue_depth");
+    if (g != delta.gauges.end())
+        w.queue_depth = g->second;
+    auto h = delta.histograms.find("pool.queue_delay_ms");
+    if (h != delta.histograms.end() && h->second.count > 0)
+        w.queue_delay_p99_ms = h->second.quantile(0.99);
+    return w;
+}
+
+Autoscaler::Autoscaler(PoolScheduler &scheduler, AutoscalerConfig config)
+    : scheduler_(scheduler),
+      config_(config),
+      policy_(config, scheduler.active_dies())
+{
+    thread_ = std::thread([this] { loop(); });
+}
+
+Autoscaler::~Autoscaler() { stop(); }
+
+void
+Autoscaler::stop()
+{
+    {
+        MutexLock lock(&mutex_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::size_t
+Autoscaler::target() const
+{
+    MutexLock lock(&mutex_);
+    return policy_.target();
+}
+
+std::size_t
+Autoscaler::windows_seen() const
+{
+    MutexLock lock(&mutex_);
+    return policy_.windows_seen();
+}
+
+void
+Autoscaler::loop()
+{
+    obs::MetricsSnapshot prev = scheduler_.metrics()->snapshot();
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(config_.interval_ms));
+    UniqueLock lock(&mutex_);
+    for (;;) {
+        if (wake_.wait_for(lock, interval, [&]() FLOWGNN_REQUIRES(
+                                               mutex_) { return stop_; }))
+            return;
+        lock.unlock();
+        // Snapshot outside the autoscaler lock: the registry walk is
+        // lock-free for writers but can still take a while.
+        obs::MetricsSnapshot cur = scheduler_.metrics()->snapshot();
+        const AutoscalerWindow window =
+            window_from_delta(cur.delta(prev));
+        prev = std::move(cur);
+        lock.lock();
+        const std::size_t next = policy_.step(window);
+        lock.unlock();
+        scheduler_.set_active_dies(next);
+        lock.lock();
+    }
+}
+
+} // namespace flowgnn

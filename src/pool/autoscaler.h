@@ -1,0 +1,157 @@
+/**
+ * @file
+ * flowgnn::pool — metrics-driven die-pool elasticity (the Dorylus
+ * argument, applied to dies: pay for accelerator replicas only while
+ * traffic needs them).
+ *
+ * Split in two so the control LAW is testable without threads:
+ *
+ *  - AutoscalerPolicy: a pure, deterministic step function. Feed it
+ *    one AutoscalerWindow summary per control interval; it returns the
+ *    new active-die target. The cycle-domain schedule simulator steps
+ *    the same object, which is how tests pin exact scale-up/down
+ *    sequences on canonical traces.
+ *  - Autoscaler: the live driver. A background thread snapshots the
+ *    pool's MetricsRegistry every interval, forms the window from
+ *    MetricsSnapshot::delta (counters/histograms subtract; gauges are
+ *    last-value — see obs/metrics.h), and actuates
+ *    PoolScheduler::set_active_dies.
+ *
+ * Control law (evaluated once per window, with a cooldown between
+ * actions so in-flight work can absorb the last decision):
+ *
+ *   scale UP   when queue_depth > scale_up_queue_per_die * active,
+ *              or the window's queue-delay p99 exceeds scale_up_p99_ms
+ *   scale DOWN when the queue is empty and mean busy dies fall below
+ *              scale_down_util * active
+ */
+#ifndef FLOWGNN_POOL_AUTOSCALER_H
+#define FLOWGNN_POOL_AUTOSCALER_H
+
+#include <cstddef>
+#include <thread>
+
+#include "core/sync.h"
+#include "obs/metrics.h"
+#include "pool/scheduler.h"
+
+namespace flowgnn {
+
+/** One control interval's traffic summary — the autoscaler's whole
+ * input. The live driver fills it from a metrics delta; the schedule
+ * simulator fills it from exact cycle-domain integrals. */
+struct AutoscalerWindow {
+    /** Mean (sim) or last-sampled (live) busy dies over the window. */
+    double busy_dies = 0.0;
+    /** Pending jobs at the window boundary (gauge last-value). */
+    double queue_depth = 0.0;
+    /** Queue-delay p99 over THIS window (histogram delta quantile);
+     * 0 when nothing was dispatched. */
+    double queue_delay_p99_ms = 0.0;
+};
+
+/** Control-law parameters. Defaults favour latency: scale up on one
+ * window of pressure, scale down only on clear idleness. */
+struct AutoscalerConfig {
+    std::size_t min_dies = 1;
+    std::size_t max_dies = 8;
+    /** Scale up when queue_depth exceeds this many jobs per active
+     * die. */
+    double scale_up_queue_per_die = 1.0;
+    /** Also scale up when the window's queue-delay p99 exceeds this
+     * (ms); <= 0 disables the latency trigger. */
+    double scale_up_p99_ms = 0.0;
+    /** Scale down when mean busy dies < this fraction of active AND
+     * the queue is empty. */
+    double scale_down_util = 0.35;
+    std::size_t step_up = 2;
+    std::size_t step_down = 1;
+    /** Windows to hold after any action before acting again. */
+    std::size_t cooldown_windows = 2;
+    /** Live driver polling period, milliseconds. */
+    double interval_ms = 50.0;
+
+    void
+    validate() const
+    {
+        if (min_dies == 0 || max_dies < min_dies)
+            throw std::invalid_argument(
+                "AutoscalerConfig: need 1 <= min_dies <= max_dies");
+        if (step_up == 0 || step_down == 0)
+            throw std::invalid_argument(
+                "AutoscalerConfig: steps must be >= 1");
+        if (interval_ms <= 0.0)
+            throw std::invalid_argument(
+                "AutoscalerConfig: interval_ms must be positive");
+    }
+};
+
+/**
+ * The pure control law. Deterministic: the target sequence is a
+ * function of (config, initial target, window sequence) and nothing
+ * else, so simulated and live deployments of the same policy make the
+ * same decisions on the same inputs.
+ */
+class AutoscalerPolicy
+{
+  public:
+    AutoscalerPolicy(AutoscalerConfig config, std::size_t initial);
+
+    /** Consumes one window; returns the (possibly unchanged) target. */
+    std::size_t step(const AutoscalerWindow &window);
+
+    std::size_t target() const { return target_; }
+    std::size_t windows_seen() const { return windows_; }
+
+  private:
+    AutoscalerConfig config_;
+    std::size_t target_;
+    std::size_t cooldown_ = 0;
+    std::size_t windows_ = 0;
+};
+
+/** Extracts an AutoscalerWindow from a MetricsSnapshot::delta of the
+ * pool's registry: pool.busy_dies / pool.queue_depth gauges (last
+ * value) and the pool.queue_delay_ms histogram delta's p99. Missing
+ * metrics read as 0 — a cold registry scales nothing up. */
+AutoscalerWindow window_from_delta(const obs::MetricsSnapshot &delta);
+
+/**
+ * Live elasticity driver: polls the scheduler's registry on a
+ * background thread and actuates set_active_dies. Construction starts
+ * the loop; stop() (or destruction) joins it. The scheduler must
+ * outlive the autoscaler.
+ */
+class Autoscaler
+{
+  public:
+    Autoscaler(PoolScheduler &scheduler, AutoscalerConfig config);
+    ~Autoscaler();
+
+    Autoscaler(const Autoscaler &) = delete;
+    Autoscaler &operator=(const Autoscaler &) = delete;
+
+    /** Joins the control thread (idempotent). */
+    void stop();
+
+    /** Current active-die target. */
+    std::size_t target() const;
+    /** Control windows processed so far. */
+    std::size_t windows_seen() const;
+
+  private:
+    void loop();
+
+    PoolScheduler &scheduler_;
+    AutoscalerConfig config_;
+
+    mutable Mutex mutex_;
+    CondVar wake_;
+    bool stop_ FLOWGNN_GUARDED_BY(mutex_) = false;
+    AutoscalerPolicy policy_ FLOWGNN_GUARDED_BY(mutex_);
+    std::thread thread_;
+};
+
+} // namespace flowgnn
+
+#endif // FLOWGNN_POOL_AUTOSCALER_H

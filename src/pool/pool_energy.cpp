@@ -1,0 +1,34 @@
+#include "pool/pool_energy.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace flowgnn {
+
+MultiDieEnergy
+pool_schedule_energy(const SimResult &sched, double clock_mhz,
+                     std::uint64_t link_words,
+                     double replication_factor,
+                     std::size_t graph_nodes, std::size_t node_dim)
+{
+    if (clock_mhz <= 0.0)
+        throw std::invalid_argument(
+            "pool_schedule_energy: clock must be positive");
+    if (sched.die_busy.empty())
+        throw std::invalid_argument(
+            "pool_schedule_energy: schedule has no dies");
+    const double cycles_per_ms = clock_mhz * 1e3;
+    const double latency_ms =
+        static_cast<double>(sched.makespan) / cycles_per_ms;
+    std::vector<double> die_busy_ms;
+    die_busy_ms.reserve(sched.die_busy.size());
+    for (std::uint64_t busy : sched.die_busy)
+        die_busy_ms.push_back(static_cast<double>(busy) /
+                              cycles_per_ms);
+    return multi_die_energy(
+        static_cast<std::uint32_t>(sched.die_busy.size()), latency_ms,
+        link_words, replication_factor, graph_nodes, node_dim,
+        die_busy_ms);
+}
+
+} // namespace flowgnn

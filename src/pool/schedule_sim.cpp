@@ -16,16 +16,34 @@ struct JobState {
     std::size_t next_task = 0;
     std::size_t done_tasks = 0;
     bool dispatched_any = false;
+    /** Cycles still owed per task; grows by the checkpoint overhead
+     * on each preemption. */
+    std::vector<std::uint64_t> owed;
+    /** Preempted tasks waiting to resume (LIFO, like the live pool). */
+    std::vector<std::size_t> requeued;
+    std::uint64_t abs_deadline = kNever;
 
     std::size_t
     remaining() const
     {
-        return job->task_cycles.size() - next_task;
+        return job->task_cycles.size() - next_task + requeued.size();
     }
     bool
     pending() const
     {
-        return next_task < job->task_cycles.size();
+        return remaining() > 0;
+    }
+    /** Longest still-owed undispatched task — a gang job's duration
+     * when all its tasks start together (the backfill bound). */
+    std::uint64_t
+    max_owed() const
+    {
+        std::uint64_t m = 0;
+        for (std::size_t t = next_task; t < owed.size(); ++t)
+            m = std::max(m, owed[t]);
+        for (std::size_t t : requeued)
+            m = std::max(m, owed[t]);
+        return m;
     }
 };
 
@@ -49,6 +67,19 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
                        std::uint32_t num_dies, PoolPolicy policy,
                        std::uint64_t aging_cycles)
 {
+    SimOptions options;
+    options.num_dies = num_dies;
+    options.policy = policy;
+    options.aging_cycles = aging_cycles;
+    return simulate_pool_schedule(jobs, options);
+}
+
+SimResult
+simulate_pool_schedule(const std::vector<SimJob> &jobs,
+                       const SimOptions &options)
+{
+    const std::uint32_t num_dies = options.num_dies;
+    const PoolPolicy policy = options.policy;
     if (num_dies == 0)
         throw std::invalid_argument(
             "simulate_pool_schedule: num_dies must be >= 1");
@@ -60,20 +91,33 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
             throw std::invalid_argument(
                 "simulate_pool_schedule: job wider than the pool");
     }
+    if (options.autoscaler != nullptr && options.window_cycles == 0)
+        throw std::invalid_argument(
+            "simulate_pool_schedule: autoscaler needs window_cycles");
 
     SimResult out;
     out.die_busy.assign(num_dies, 0);
     out.start_.assign(jobs.size(), 0);
     out.finish_.assign(jobs.size(), 0);
+    out.reservation_.assign(jobs.size(), SimResult::kNoReservation);
+    out.lateness_.assign(jobs.size(), 0);
 
     std::vector<JobState> states(jobs.size());
-    for (std::size_t j = 0; j < jobs.size(); ++j)
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
         states[j].job = &jobs[j];
+        states[j].owed = jobs[j].task_cycles;
+        if (jobs[j].deadline > 0)
+            states[j].abs_deadline = jobs[j].arrival + jobs[j].deadline;
+    }
 
-    // free_at[d]: the cycle die d finishes its current task (0 = idle).
+    // free_at[d]: the cycle die d finishes (or yields) its current
+    // task (meaningful only while busy).
     std::vector<std::uint64_t> free_at(num_dies, 0);
     std::vector<std::size_t> die_job(num_dies, 0);
+    std::vector<std::size_t> die_task(num_dies, 0);
+    std::vector<std::uint64_t> die_started(num_dies, 0);
     std::vector<bool> die_busy_now(num_dies, false);
+    std::vector<bool> die_preempting(num_dies, false);
 
     // FIFO admission order = arrival order (stable for equal arrivals).
     std::vector<std::size_t> order(jobs.size());
@@ -84,18 +128,52 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
                          return jobs[a].arrival < jobs[b].arrival;
                      });
 
+    const bool preemptable_policy = policy == PoolPolicy::kPriority ||
+        policy == PoolPolicy::kEdf;
+
+    // Elastic capacity: the autoscaler's target caps concurrency.
+    std::size_t cap_target =
+        options.autoscaler ? options.autoscaler->target() : num_dies;
+    if (options.autoscaler)
+        out.active_timeline.emplace_back(0, cap_target);
+    std::uint64_t window_area = 0;   // busy-dies x cycles this window
+    std::uint64_t next_window = options.autoscaler
+        ? options.window_cycles
+        : kNever;
+
+    // EDF order: earliest absolute deadline, ties FIFO (scan `order`).
+    auto edf_pick = [&](std::uint64_t now) -> std::size_t {
+        std::size_t best = jobs.size();
+        for (std::size_t j : order) {
+            const JobState &st = states[j];
+            if (!st.pending() || jobs[j].arrival > now)
+                continue;
+            if (best == jobs.size() ||
+                st.abs_deadline < states[best].abs_deadline)
+                best = j;
+        }
+        return best;
+    };
+
     std::uint64_t now = 0;
     std::size_t done_jobs = 0;
+    std::size_t tasks_running = 0;
     while (done_jobs < jobs.size()) {
+        // The widest pending job raises the cap (a gang wider than
+        // the shrunk pool must still start — live effective_active).
+        std::size_t cap = cap_target;
+        for (std::size_t j : order)
+            if (states[j].pending() && jobs[j].arrival <= now)
+                cap = std::max(cap, states[j].remaining());
+        cap = std::min<std::size_t>(cap, num_dies);
+
         // ---- Dispatch everything pickable at `now` (same selection
         // rules as PoolScheduler::try_pick, re-evaluated after every
         // dispatch because idle-die counts change). ----
         for (;;) {
-            std::size_t idle = 0;
-            for (std::uint32_t d = 0; d < num_dies; ++d)
-                idle += !die_busy_now[d];
-            if (idle == 0)
+            if (tasks_running >= cap)
                 break;
+            const std::size_t idle = cap - tasks_running;
 
             std::size_t pick = jobs.size(); // none
             if (policy == PoolPolicy::kPriority) {
@@ -105,15 +183,25 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
                     if (!st.pending() || jobs[j].arrival > now)
                         continue;
                     long eff = jobs[j].priority;
-                    if (aging_cycles > 0)
+                    if (options.aging_cycles > 0)
                         eff += static_cast<long>(
-                            (now - jobs[j].arrival) / aging_cycles);
+                            (now - jobs[j].arrival) /
+                            options.aging_cycles);
                     if (pick == jobs.size() || eff > best_eff) {
                         pick = j;
                         best_eff = eff;
                     }
                 }
+            } else if (policy == PoolPolicy::kEdf) {
+                const std::size_t best = edf_pick(now);
+                if (best != jobs.size()) {
+                    JobState &st = states[best];
+                    if (st.dispatched_any || idle >= st.remaining())
+                        pick = best;
+                }
             } else {
+                const JobState *blocked_head = nullptr;
+                std::size_t head_j = 0;
                 for (std::size_t j : order) {
                     JobState &st = states[j];
                     if (!st.pending() || jobs[j].arrival > now)
@@ -123,11 +211,52 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
                         pick = j;
                         break;
                     }
-                    if (idle >= st.remaining()) {
+                    if (blocked_head == nullptr) {
+                        if (idle >= st.remaining()) {
+                            pick = j;
+                            break;
+                        }
+                        if (!options.easy_backfill)
+                            break; // gang head-of-line block
+                        blocked_head = &st;
+                        head_j = j;
+                        continue;
+                    }
+                    // EASY backfill: J may jump the blocked head only
+                    // if it provably cannot delay it. The reservation
+                    // is when the (width-idle)-th soonest running
+                    // finish frees the head's width; J qualifies by
+                    // ending before it (exact durations) or by fitting
+                    // in the dies the head will not need even then.
+                    const std::size_t width = st.remaining();
+                    if (width > idle)
+                        continue;
+                    std::vector<std::uint64_t> fins;
+                    fins.reserve(tasks_running);
+                    for (std::uint32_t d = 0; d < num_dies; ++d)
+                        if (die_busy_now[d])
+                            fins.push_back(free_at[d]);
+                    const std::size_t need =
+                        blocked_head->remaining() - idle;
+                    if (fins.size() < need)
+                        break; // width > dies that will ever free
+                    std::sort(fins.begin(), fins.end());
+                    const std::uint64_t reservation = fins[need - 1];
+                    if (out.reservation_[head_j] ==
+                        SimResult::kNoReservation)
+                        out.reservation_[head_j] = reservation;
+                    std::size_t freed_by_then = 0;
+                    for (std::uint64_t f : fins)
+                        freed_by_then += (f <= reservation);
+                    const std::size_t avail_at_shadow =
+                        idle + freed_by_then;
+                    const std::size_t extra = avail_at_shadow -
+                        blocked_head->remaining();
+                    if (now + st.max_owed() <= reservation ||
+                        width <= extra) {
                         pick = j;
                         break;
                     }
-                    break; // gang head-of-line block
                 }
             }
             if (pick == jobs.size())
@@ -138,18 +267,27 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
                 st.dispatched_any = true;
                 out.start_[pick] = now;
             }
-            std::uint64_t cycles = st.job->task_cycles[st.next_task++];
+            std::size_t task;
+            if (!st.requeued.empty()) {
+                task = st.requeued.back();
+                st.requeued.pop_back();
+            } else {
+                task = st.next_task++;
+            }
             std::uint32_t die = 0;
             while (die_busy_now[die])
                 ++die;
             die_busy_now[die] = true;
-            free_at[die] = now + cycles;
+            die_preempting[die] = false;
+            free_at[die] = now + st.owed[task];
             die_job[die] = pick;
-            out.die_busy[die] += cycles;
+            die_task[die] = task;
+            die_started[die] = now;
+            ++tasks_running;
         }
 
-        // ---- Advance to the next event: a die completing or the
-        // next arrival that could unblock a dispatch. ----
+        // ---- Advance to the next event: a die completing/yielding,
+        // the next arrival, or an autoscaler window boundary. ----
         std::uint64_t next = kNever;
         for (std::uint32_t d = 0; d < num_dies; ++d)
             if (die_busy_now[d])
@@ -160,18 +298,120 @@ simulate_pool_schedule(const std::vector<SimJob> &jobs,
         if (next == kNever)
             throw std::logic_error(
                 "simulate_pool_schedule: stalled schedule");
+        next = std::min(next, next_window);
+        window_area +=
+            static_cast<std::uint64_t>(tasks_running) * (next - now);
         now = next;
 
         for (std::uint32_t d = 0; d < num_dies; ++d) {
-            if (die_busy_now[d] && free_at[d] <= now) {
-                die_busy_now[d] = false;
-                JobState &st = states[die_job[d]];
-                ++st.done_tasks;
-                if (st.done_tasks == st.job->task_cycles.size()) {
-                    out.finish_[die_job[d]] = free_at[d];
-                    out.makespan =
-                        std::max(out.makespan, free_at[d]);
-                    ++done_jobs;
+            if (!die_busy_now[d] || free_at[d] > now)
+                continue;
+            die_busy_now[d] = false;
+            --tasks_running;
+            out.die_busy[d] += free_at[d] - die_started[d];
+            JobState &st = states[die_job[d]];
+            if (die_preempting[d]) {
+                // Layer-boundary yield: requeue the remainder plus
+                // the checkpoint round-trip.
+                die_preempting[d] = false;
+                const std::uint64_t ran = free_at[d] - die_started[d];
+                st.owed[die_task[d]] = st.owed[die_task[d]] - ran +
+                    options.preempt_overhead_cycles;
+                st.requeued.push_back(die_task[d]);
+                ++out.preemptions;
+                continue;
+            }
+            ++st.done_tasks;
+            if (st.done_tasks == st.job->task_cycles.size()) {
+                const std::size_t j = die_job[d];
+                out.finish_[j] = free_at[d];
+                out.makespan = std::max(out.makespan, free_at[d]);
+                if (st.abs_deadline != kNever &&
+                    free_at[d] > st.abs_deadline) {
+                    out.lateness_[j] = free_at[d] - st.abs_deadline;
+                    ++out.deadline_misses;
+                }
+                ++done_jobs;
+            }
+        }
+
+        // ---- Autoscaler window boundary: exact windowed inputs. ----
+        if (options.autoscaler != nullptr && now == next_window) {
+            AutoscalerWindow w;
+            w.busy_dies = static_cast<double>(window_area) /
+                static_cast<double>(options.window_cycles);
+            double depth = 0.0;
+            for (std::size_t j = 0; j < jobs.size(); ++j)
+                if (states[j].pending() && jobs[j].arrival <= now)
+                    depth += 1.0;
+            w.queue_depth = depth;
+            const std::size_t target = options.autoscaler->step(w);
+            if (target != cap_target) {
+                cap_target = target;
+                out.active_timeline.emplace_back(now, cap_target);
+            }
+            window_area = 0;
+            next_window += options.window_cycles;
+        }
+
+        // ---- Preemption: jobs arriving exactly now evict the least
+        // urgent running preemptible task when nothing is free (the
+        // live scheduler's maybe_preempt, in cycle domain). ----
+        if (options.enable_preemption && preemptable_policy) {
+            for (std::size_t j : order) {
+                if (jobs[j].arrival != now || !states[j].pending())
+                    continue;
+                std::size_t want = states[j].remaining();
+                // Live gate: only when the effective cap is saturated
+                // (an idle-but-capped die does not block eviction).
+                std::size_t cap_now = cap_target;
+                for (std::size_t jj : order)
+                    if (states[jj].pending() &&
+                        jobs[jj].arrival <= now)
+                        cap_now = std::max(cap_now,
+                                           states[jj].remaining());
+                cap_now = std::min<std::size_t>(cap_now, num_dies);
+                if (tasks_running < cap_now)
+                    continue;
+                // Victims, least urgent first.
+                std::vector<std::uint32_t> running;
+                for (std::uint32_t d = 0; d < num_dies; ++d)
+                    if (die_busy_now[d] && !die_preempting[d])
+                        running.push_back(d);
+                std::stable_sort(
+                    running.begin(), running.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                        if (policy == PoolPolicy::kEdf)
+                            return states[die_job[a]].abs_deadline >
+                                states[die_job[b]].abs_deadline;
+                        return jobs[die_job[a]].priority <
+                            jobs[die_job[b]].priority;
+                    });
+                for (std::uint32_t d : running) {
+                    if (want == 0)
+                        break;
+                    const std::size_t vj = die_job[d];
+                    const bool more_urgent =
+                        policy == PoolPolicy::kEdf
+                            ? states[j].abs_deadline <
+                                states[vj].abs_deadline
+                            : jobs[j].priority - jobs[vj].priority >=
+                                options.preempt_priority_gap;
+                    if (!more_urgent)
+                        break;
+                    const std::uint64_t b =
+                        jobs[vj].boundary_cycles;
+                    if (b == 0)
+                        continue; // not preemptible; try the next
+                    const std::uint64_t elapsed =
+                        now - die_started[d];
+                    const std::uint64_t yield_at = die_started[d] +
+                        (elapsed / b + 1) * b;
+                    if (yield_at >= free_at[d])
+                        continue; // would finish first anyway
+                    free_at[d] = yield_at;
+                    die_preempting[d] = true;
+                    --want;
                 }
             }
         }

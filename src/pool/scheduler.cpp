@@ -17,6 +17,7 @@ pool_policy_name(PoolPolicy policy)
       case PoolPolicy::kFifoGang: return "fifo-gang";
       case PoolPolicy::kSpaceShare: return "space-share";
       case PoolPolicy::kPriority: return "priority";
+      case PoolPolicy::kEdf: return "edf";
     }
     return "unknown";
 }
@@ -31,6 +32,10 @@ struct PoolScheduler::Job {
     bool sharded_path = false; ///< admitted via submit_sharded*
     Deliver deliver = Deliver::kRun;
     int priority = 0;
+    JobSpec spec;
+    /** enqueued + deadline_ms; time_point::max() when no deadline. */
+    std::chrono::steady_clock::time_point abs_deadline{
+        std::chrono::steady_clock::time_point::max()};
     std::uint64_t id = 0;       ///< admission order, for trace labels
     std::uint64_t enq_ns = 0;   ///< admit instant on the trace clock
     GraphSample prepared;
@@ -48,6 +53,19 @@ struct PoolScheduler::Job {
     std::size_t next_task = 0;
     std::size_t done_tasks = 0;
     bool dispatched_any = false;
+    /** Tasks preempted at a layer boundary, waiting to resume. */
+    std::vector<std::size_t> requeued;
+    /** Per-task layer-boundary checkpoints (engine tasks). */
+    std::vector<LayerCheckpoint> task_ckpts;
+    /** Ghost jobs: the functional pass's resume state. */
+    GhostResumeState ghost_resume;
+
+    /** Tasks still needing a die (undispatched + requeued). */
+    std::size_t
+    remaining() const
+    {
+        return results.size() - next_task + requeued.size();
+    }
     std::exception_ptr error;
     std::chrono::steady_clock::time_point enqueued{};
     std::promise<RunResult> run_promise;
@@ -68,11 +86,22 @@ PoolScheduler::PoolScheduler(const Model &model, EngineConfig engine_config,
       rejected_ctr_(metrics_->counter("pool.rejected_total")),
       busy_dies_gauge_(metrics_->gauge("pool.busy_dies")),
       queue_depth_gauge_(metrics_->gauge("pool.queue_depth")),
-      queue_delay_hist_(metrics_->histogram("pool.queue_delay_ms"))
+      queue_delay_hist_(metrics_->histogram("pool.queue_delay_ms")),
+      deadline_miss_ctr_(metrics_->counter("pool.deadline_misses_total")),
+      preempt_ctr_(metrics_->counter("pool.preemptions_total")),
+      active_dies_gauge_(metrics_->gauge("pool.active_dies")),
+      lateness_hist_(metrics_->histogram("pool.lateness_ms"))
 {
     // Fail fast: a malformed config must never reach die threads.
     config_.validate();
     config_.run_options.validate();
+
+    active_dies_ = pool_.size();
+    active_dies_gauge_.set(static_cast<double>(active_dies_));
+    running_.resize(pool_.size());
+    die_tokens_.reserve(pool_.size());
+    for (std::size_t d = 0; d < pool_.size(); ++d)
+        die_tokens_.push_back(std::make_unique<PreemptToken>());
 
     started_ = !config_.start_paused;
     die_threads_.reserve(pool_.size());
@@ -97,13 +126,28 @@ PoolScheduler::start()
     unpark_.notify_all();
 }
 
+std::size_t
+PoolScheduler::effective_active() const
+{
+    // The autoscaler's cap, raised to the widest pending job so a
+    // gang wider than the shrunk pool can still start (scaling down
+    // must never deadlock admission-time clamped widths).
+    std::size_t cap = active_dies_;
+    for (const JobPtr &job : queue_)
+        cap = std::max(cap, job->remaining());
+    return std::min(cap, pool_.size());
+}
+
 bool
 PoolScheduler::try_pick(Dispatch &out)
 {
     out.job.reset();
     if (queue_.empty())
         return false;
-    const std::size_t idle = pool_.size() - tasks_running_;
+    const std::size_t cap = effective_active();
+    if (tasks_running_ >= cap)
+        return false; // scaled down: leave the die parked
+    const std::size_t idle = cap - tasks_running_;
 
     switch (config_.policy) {
       case PoolPolicy::kSpaceShare: {
@@ -118,19 +162,61 @@ PoolScheduler::try_pick(Dispatch &out)
         // Jobs start strictly in order, each only when its full width
         // is simultaneously free. A started job's remaining tasks go
         // first; an unstarted head that does not fit blocks the scan
-        // (that is the policy's head-of-line cost).
+        // (the policy's head-of-line cost) — unless EASY backfill can
+        // prove a later job ends before the head's reservation.
+        const Job *blocked_head = nullptr;
         for (const JobPtr &job : queue_) {
             if (job->dispatched_any) {
                 out.job = job;
                 break;
             }
-            std::size_t remaining =
-                job->results.size() - job->next_task;
-            if (idle >= remaining) {
+            if (blocked_head == nullptr) {
+                if (idle >= job->remaining()) {
+                    out.job = job;
+                    break;
+                }
+                if (!config_.easy_backfill)
+                    return false;
+                blocked_head = job.get();
+                continue; // scan on for a backfill candidate
+            }
+            // Backfill candidate: must fit in the idle dies right now
+            // AND provably finish before the head's reservation. The
+            // reservation is when the (width - idle)-th soonest
+            // running-task finish frees enough dies; estimates
+            // missing anywhere -> no proof -> no backfill.
+            if (job->remaining() > idle ||
+                job->spec.estimated_task_cycles == 0)
+                continue;
+            std::vector<std::chrono::steady_clock::time_point> fins;
+            fins.reserve(running_.size());
+            bool all_known = true;
+            for (const Running &r : running_) {
+                if (!r.job)
+                    continue;
+                if (!r.has_est) {
+                    all_known = false;
+                    break;
+                }
+                fins.push_back(r.est_finish);
+            }
+            const std::size_t need = blocked_head->remaining() - idle;
+            if (!all_known || fins.size() < need)
+                return false; // reservation unknowable; plain gang
+            std::sort(fins.begin(), fins.end());
+            const auto reservation = fins[need - 1];
+            const auto now = std::chrono::steady_clock::now();
+            const double est_ms =
+                static_cast<double>(job->spec.estimated_task_cycles) /
+                (pool_.engine(0).config().clock_mhz * 1e3);
+            const auto est_end = now +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(est_ms));
+            if (est_end <= reservation) {
                 out.job = job;
                 break;
             }
-            return false;
         }
         break;
       }
@@ -150,10 +236,31 @@ PoolScheduler::try_pick(Dispatch &out)
         }
         break;
       }
+      case PoolPolicy::kEdf: {
+        // Pure earliest-deadline order (ties FIFO by id — which is
+        // exactly kFifoGang when all deadlines are equal), with the
+        // gang width rule on unstarted jobs.
+        JobPtr best;
+        for (const JobPtr &job : queue_)
+            if (!best || job->abs_deadline < best->abs_deadline ||
+                (job->abs_deadline == best->abs_deadline &&
+                 job->id < best->id))
+                best = job;
+        if (best) {
+            if (best->dispatched_any || idle >= best->remaining())
+                out.job = best;
+            else
+                return false;
+        }
+        break;
+      }
     }
     if (!out.job)
         return false;
-    out.task = out.job->next_task;
+    if (!out.job->requeued.empty())
+        out.task = out.job->requeued.back();
+    else
+        out.task = out.job->next_task;
     return true;
 }
 
@@ -189,14 +296,38 @@ PoolScheduler::die_loop(std::size_t die)
                 session->span(obs::Track::kPool, "queue-wait",
                               job.enq_ns, session->now_ns());
         }
-        ++job.next_task;
+        if (!job.requeued.empty() && d.task == job.requeued.back())
+            job.requeued.pop_back(); // resuming a preempted task
+        else
+            ++job.next_task;
         ++tasks_running_;
-        if (job.next_task == job.results.size()) {
+        if (job.next_task == job.results.size() &&
+            job.requeued.empty()) {
             // Fully dispatched: leaves the pending queue (freeing
             // admission capacity) while its tasks finish on the dies.
             queue_.erase(
                 std::find(queue_.begin(), queue_.end(), d.job));
             admit_.notify_one();
+        }
+        // Record what this die runs (and when it should finish, if
+        // the submitter provided an estimate) — the inputs to EASY
+        // reservations and preemption victim selection.
+        {
+            Running &slot = running_[die];
+            slot.job = d.job;
+            slot.task = d.task;
+            slot.has_est = job.spec.estimated_task_cycles > 0;
+            if (slot.has_est) {
+                const double est_ms =
+                    static_cast<double>(
+                        job.spec.estimated_task_cycles) /
+                    (pool_.engine(die).config().clock_mhz * 1e3);
+                slot.est_finish = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            est_ms));
+            }
         }
         // Other idle dies may now have work (e.g. the rest of a
         // gang-started job's tasks).
@@ -219,25 +350,60 @@ PoolScheduler::die_loop(std::size_t die)
         lock.unlock();
 
         bool ok = true;
+        bool preempted = false;
         RunResult result;
         std::exception_ptr error;
+        PreemptToken &token = *die_tokens_[die];
         try {
             Engine &engine = pool_.engine(die);
             if (job.ghost) {
-                job.ghost_result = run_ghost_plan(
-                    model_, engine.config(), job.prepared,
-                    std::move(job.ghost_plan), job.opts, job.link);
+                if (config_.enable_preemption) {
+                    RunOptions popts = job.opts;
+                    popts.preempt = &token;
+                    job.ghost_result = run_ghost_plan(
+                        model_, engine.config(),
+                        SampleRef(job.prepared),
+                        std::move(job.ghost_plan), popts, job.link,
+                        &job.ghost_resume, 1);
+                    if (job.ghost_resume.preempted) {
+                        preempted = true;
+                        job.ghost_plan =
+                            std::move(job.ghost_resume.plan);
+                    }
+                } else {
+                    job.ghost_result = run_ghost_plan(
+                        model_, engine.config(), job.prepared,
+                        std::move(job.ghost_plan), job.opts,
+                        job.link);
+                }
             } else {
                 RunWorkspace &ws = pool_.workspace(die);
-                result = job.plan.sharded
-                    ? engine.run_prepared(job.plan.slices[d.task].sub,
-                                          job.opts, ws)
-                    : engine.run_prepared(job.prepared, job.opts, ws);
+                if (config_.enable_preemption) {
+                    RunOptions popts = job.opts;
+                    popts.preempt = &token;
+                    const GraphSample &g = job.plan.sharded
+                        ? job.plan.slices[d.task].sub
+                        : job.prepared;
+                    preempted =
+                        engine.run_resumable(
+                            SampleRef(g), popts, ws,
+                            job.task_ckpts[d.task], result,
+                            std::size_t(-1),
+                            1) == SegmentOutcome::kPreempted;
+                } else {
+                    result = job.plan.sharded
+                        ? engine.run_prepared(
+                              job.plan.slices[d.task].sub, job.opts,
+                              ws)
+                        : engine.run_prepared(job.prepared, job.opts,
+                                              ws);
+                }
             }
         } catch (...) {
             ok = false;
             error = std::current_exception();
         }
+        token.reset(); // never leak a request into the next lease
         pool_.release(die);
         if (session) {
             char nm[48];
@@ -259,10 +425,24 @@ PoolScheduler::die_loop(std::size_t die)
 
         lock.lock();
         --tasks_running_;
+        running_[die] = Running{};
         busy_dies_gauge_.set(static_cast<double>(tasks_running_));
         if (session)
             session->counter(obs::Track::kPool, "busy dies",
                              static_cast<double>(tasks_running_));
+        if (preempted) {
+            // Yielded at a layer boundary: the checkpoint lives in
+            // the job; requeue the task and let try_pick hand the die
+            // to whoever is more urgent now.
+            preempt_ctr_.add(1);
+            job.requeued.push_back(d.task);
+            if (std::find(queue_.begin(), queue_.end(), d.job) ==
+                queue_.end())
+                queue_.push_back(d.job);
+            queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+            work_.notify_all();
+            continue;
+        }
         job.results[d.task] = std::move(result);
         if (!ok && !job.error)
             job.error = error;
@@ -302,6 +482,17 @@ PoolScheduler::finalize(const JobPtr &jobp)
     // that checks stats() right after future.get() sees it.
     completed_ctr_.add(ok);
     failed_ctr_.add(!ok);
+    if (job.spec.deadline_ms > 0.0) {
+        // Lateness vs the admission-relative deadline, clamped at 0
+        // so the histogram's quantiles read "how late are the late
+        // ones" over ALL deadline jobs.
+        const double lateness =
+            ms_between(job.enqueued, std::chrono::steady_clock::now()) -
+            job.spec.deadline_ms;
+        lateness_hist_.record(std::max(0.0, lateness));
+        if (lateness > 0.0)
+            deadline_miss_ctr_.add(1);
+    }
     {
         MutexLock lock(&mutex_);
         PoolPathStats &path = job.sharded_path ? sharded_ : fast_;
@@ -359,22 +550,72 @@ PoolScheduler::admit(const JobPtr &job)
         ++path.submitted;
         job->id = next_job_id_++;
         job->enqueued = std::chrono::steady_clock::now();
+        if (job->spec.deadline_ms > 0.0)
+            job->abs_deadline = job->enqueued +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        job->spec.deadline_ms));
         if (obs::TraceSession *session = obs::TraceSession::current())
             job->enq_ns = session->now_ns();
         queue_.push_back(job);
         jobs_ctr_.add(1);
         queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+        maybe_preempt(job);
     }
     work_.notify_all();
 }
 
+void
+PoolScheduler::maybe_preempt(const JobPtr &urgent)
+{
+    if (!config_.enable_preemption)
+        return;
+    if (config_.policy != PoolPolicy::kPriority &&
+        config_.policy != PoolPolicy::kEdf)
+        return;
+    if (tasks_running_ < effective_active())
+        return; // a die is (about to be) free; no need to evict
+    // Evict enough of the least-urgent running tasks to fit the
+    // urgent job's width — each victim strictly less urgent than the
+    // newcomer, so preemption can only shorten its wait.
+    std::size_t want = urgent->remaining();
+    std::vector<std::size_t> victims;
+    for (std::size_t d = 0; d < running_.size(); ++d)
+        if (running_[d].job)
+            victims.push_back(d);
+    const bool edf = config_.policy == PoolPolicy::kEdf;
+    std::sort(victims.begin(), victims.end(),
+              [&](std::size_t a, std::size_t b)
+                  FLOWGNN_REQUIRES(mutex_) {
+                      const Job &ja = *running_[a].job;
+                      const Job &jb = *running_[b].job;
+                      return edf ? ja.abs_deadline > jb.abs_deadline
+                                 : ja.priority < jb.priority;
+                  });
+    for (std::size_t d : victims) {
+        if (want == 0)
+            break;
+        const Job &victim = *running_[d].job;
+        const bool more_urgent = edf
+            ? urgent->abs_deadline < victim.abs_deadline
+            : urgent->priority - victim.priority >=
+                  config_.preempt_priority_gap;
+        if (!more_urgent)
+            break; // sorted: nobody further is less urgent
+        die_tokens_[d]->request();
+        --want;
+    }
+}
+
 std::future<RunResult>
 PoolScheduler::enqueue_fast(GraphSample sample, const RunOptions &opts,
-                            int priority)
+                            const JobSpec &spec)
 {
     opts.validate();
     auto job = std::make_shared<Job>();
-    job->priority = priority;
+    job->priority = spec.priority;
+    job->spec = spec;
     job->opts = opts;
     // Preparing on the submitting thread keeps dies lease-time pure
     // compute; run_prepared(prepare(s)) is exactly Engine::run(s), so
@@ -386,6 +627,7 @@ PoolScheduler::enqueue_fast(GraphSample sample, const RunOptions &opts,
     whole.num_shards = 1;
     job->plan = make_shard_plan(model_, job->prepared, whole);
     job->results.resize(job->plan.slices.size());
+    job->task_ckpts.resize(job->results.size());
     std::future<RunResult> future = job->run_promise.get_future();
     admit(job);
     return future;
@@ -394,15 +636,25 @@ PoolScheduler::enqueue_fast(GraphSample sample, const RunOptions &opts,
 std::future<RunResult>
 PoolScheduler::submit(GraphSample sample, int priority)
 {
-    return enqueue_fast(std::move(sample), config_.run_options,
-                        priority);
+    JobSpec spec;
+    spec.priority = priority;
+    return enqueue_fast(std::move(sample), config_.run_options, spec);
 }
 
 std::future<RunResult>
 PoolScheduler::submit(GraphSample sample, const RunOptions &opts,
                       int priority)
 {
-    return enqueue_fast(std::move(sample), opts, priority);
+    JobSpec spec;
+    spec.priority = priority;
+    return enqueue_fast(std::move(sample), opts, spec);
+}
+
+std::future<RunResult>
+PoolScheduler::submit(GraphSample sample, const RunOptions &opts,
+                      const JobSpec &spec)
+{
+    return enqueue_fast(std::move(sample), opts, spec);
 }
 
 std::future<ShardedRunResult>
@@ -432,7 +684,8 @@ clamp_to_pool(const ShardConfig &shard, std::size_t num_dies)
 PoolScheduler::JobPtr
 PoolScheduler::make_sharded_job(GraphSample sample,
                                 const ShardConfig &shard,
-                                const RunOptions &opts, int priority,
+                                const RunOptions &opts,
+                                const JobSpec &spec,
                                 bool deliver_sharded)
 {
     opts.validate();
@@ -441,7 +694,8 @@ PoolScheduler::make_sharded_job(GraphSample sample,
     job->sharded_path = true;
     job->deliver = deliver_sharded ? Job::Deliver::kSharded
                                    : Job::Deliver::kRun;
-    job->priority = priority;
+    job->priority = spec.priority;
+    job->spec = spec;
     job->opts = opts;
     job->link = clamped.link;
     job->prepared = model_.prepare(sample);
@@ -461,6 +715,7 @@ PoolScheduler::make_sharded_job(GraphSample sample,
         job->plan = make_shard_plan(model_, job->prepared, clamped);
         job->results.resize(job->plan.slices.size());
     }
+    job->task_ckpts.resize(job->results.size());
     return job;
 }
 
@@ -468,8 +723,17 @@ std::future<ShardedRunResult>
 PoolScheduler::submit_sharded(GraphSample sample, const ShardConfig &shard,
                               const RunOptions &opts, int priority)
 {
+    JobSpec spec;
+    spec.priority = priority;
+    return submit_sharded(std::move(sample), shard, opts, spec);
+}
+
+std::future<ShardedRunResult>
+PoolScheduler::submit_sharded(GraphSample sample, const ShardConfig &shard,
+                              const RunOptions &opts, const JobSpec &spec)
+{
     JobPtr job = make_sharded_job(std::move(sample), shard, opts,
-                                  priority, /*deliver_sharded=*/true);
+                                  spec, /*deliver_sharded=*/true);
     std::future<ShardedRunResult> future =
         job->sharded_promise.get_future();
     admit(job);
@@ -481,11 +745,33 @@ PoolScheduler::submit_sharded_as_run(GraphSample sample,
                                      const ShardConfig &shard,
                                      const RunOptions &opts, int priority)
 {
+    JobSpec spec;
+    spec.priority = priority;
     JobPtr job = make_sharded_job(std::move(sample), shard, opts,
-                                  priority, /*deliver_sharded=*/false);
+                                  spec, /*deliver_sharded=*/false);
     std::future<RunResult> future = job->run_promise.get_future();
     admit(job);
     return future;
+}
+
+void
+PoolScheduler::set_active_dies(std::size_t n)
+{
+    {
+        MutexLock lock(&mutex_);
+        active_dies_ =
+            std::min(std::max<std::size_t>(n, 1), pool_.size());
+        active_dies_gauge_.set(static_cast<double>(active_dies_));
+    }
+    // Scaling up frees capacity parked dies can pick up immediately.
+    work_.notify_all();
+}
+
+std::size_t
+PoolScheduler::active_dies() const
+{
+    MutexLock lock(&mutex_);
+    return active_dies_;
 }
 
 void
@@ -533,6 +819,15 @@ PoolScheduler::stats() const
         out.tasks_running = tasks_running_;
         out.blocked_producers = blocked_producers_;
         out.queue_capacity = config_.queue_capacity;
+        out.active_dies = active_dies_;
+    }
+    out.deadline_misses =
+        static_cast<std::size_t>(deadline_miss_ctr_.value());
+    out.preemptions = static_cast<std::size_t>(preempt_ctr_.value());
+    {
+        obs::HistogramSnapshot lateness = lateness_hist_.snapshot();
+        out.lateness_p50_ms = lateness.quantile(0.50);
+        out.lateness_p99_ms = lateness.quantile(0.99);
     }
     // Full-lifetime delay percentiles from the shared log-bucket
     // histogram (~1% relative error; see obs/metrics.h). Lock-free,

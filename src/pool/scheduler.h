@@ -25,6 +25,21 @@
  *  - kPriority:  like kSpaceShare but the next task comes from the
  *    job with the highest effective priority, which ages upward the
  *    longer the job waits (no starvation); ties break FIFO.
+ *  - kEdf: gang starts in earliest-absolute-deadline order (admit
+ *    time + JobSpec::deadline_ms); with equal deadlines everywhere it
+ *    degenerates to kFifoGang exactly. Lateness and misses are
+ *    reported per job through pool.lateness_ms /
+ *    pool.deadline_misses_total whatever the policy.
+ *
+ * kFifoGang optionally adds EASY backfill (PoolConfig::easy_backfill):
+ * a blocked head gang job takes a start-time reservation computed from
+ * running tasks' estimated finishes, and later jobs may start out of
+ * order only when their estimated runtime fits entirely before that
+ * reservation — backfill can fill idle dies but provably never delays
+ * the head. kPriority/kEdf optionally preempt running tasks at
+ * message-passing layer boundaries (PoolConfig::enable_preemption):
+ * the victim checkpoints, requeues, and later resumes bit-identically
+ * (Engine::run_resumable).
  *
  * Admission mirrors flowgnn::serve end to end: the pending-job queue
  * is bounded, and a full queue either blocks the producer
@@ -36,6 +51,7 @@
 #ifndef FLOWGNN_POOL_SCHEDULER_H
 #define FLOWGNN_POOL_SCHEDULER_H
 
+#include <chrono>
 #include <deque>
 #include <future>
 #include <memory>
@@ -54,10 +70,43 @@ enum class PoolPolicy {
     kFifoGang,
     kSpaceShare,
     kPriority,
+    /** Earliest absolute deadline first (admit time + deadline_ms;
+     * no-deadline jobs sort last), ties broken FIFO — so with equal
+     * deadlines on every job kEdf IS kFifoGang. Gang width rule:
+     * the earliest-deadline job starts only when its full width is
+     * free at once. */
+    kEdf,
 };
 
 /** Human-readable policy name. */
 const char *pool_policy_name(PoolPolicy policy);
+
+/**
+ * Per-job scheduling parameters (everything about a job the scheduler
+ * cares about that is not the graph itself). The plain priority-int
+ * submit overloads are shorthand for a JobSpec with only `priority`
+ * set.
+ */
+struct JobSpec {
+    /** Higher runs earlier under kPriority; ages upward while queued. */
+    int priority = 0;
+    /**
+     * Relative deadline from admission, milliseconds; <= 0 means no
+     * deadline. Orders dispatch under kEdf; under every policy a
+     * deadline job contributes to pool.lateness_ms and (when it
+     * finishes late) pool.deadline_misses_total.
+     */
+    double deadline_ms = 0.0;
+    /**
+     * Caller's estimate of one task's engine cycles (a slice for
+     * sharded jobs, the whole run otherwise) — the planted knowledge
+     * EASY backfill needs to prove a backfilled job cannot delay the
+     * reserved head. 0 = unknown: the job never backfills and, while
+     * it runs, blocks reservations from being computed (conservative
+     * on both sides).
+     */
+    std::uint64_t estimated_task_cycles = 0;
+};
 
 /** Deployment shape of a PoolScheduler. */
 struct PoolConfig {
@@ -74,6 +123,28 @@ struct PoolConfig {
     double aging_ms = 25.0;
     /** Construct dies parked; nothing dispatches until start(). */
     bool start_paused = false;
+    /**
+     * kFifoGang only: EASY backfill. When the head gang job cannot
+     * start, it takes a start-time reservation (the instant enough
+     * running tasks' estimated finishes free its width) and later
+     * jobs may jump it only when their estimated runtime provably
+     * ends before that reservation — the head can never be delayed.
+     * Needs JobSpec::estimated_task_cycles on the running and
+     * backfilling jobs; without estimates the policy degrades to
+     * plain gang (no backfill), never to a delayed head.
+     */
+    bool easy_backfill = true;
+    /**
+     * kPriority / kEdf: a newly admitted job that is more urgent than
+     * a running one (priority gap >= preempt_priority_gap, or an
+     * earlier deadline under kEdf) requests layer-boundary preemption
+     * of the least-urgent running task when no die is free. The
+     * preempted task checkpoints at the next message-passing layer
+     * boundary and resumes later, bit-identical (see
+     * Engine::run_resumable).
+     */
+    bool enable_preemption = false;
+    int preempt_priority_gap = 1;
     /** Metrics sink. The scheduler registers pool.* counters/gauges
      * and the pool.queue_delay_ms histogram here; pass a shared
      * registry to aggregate with other subsystems, or leave null for
@@ -124,6 +195,18 @@ struct PoolStats {
     double queue_delay_p99_ms = 0.0;
     /** Highest number of simultaneously busy dies observed. */
     std::size_t peak_busy_dies = 0;
+    /** Concurrency cap set by set_active_dies (<= dies.size()). */
+    std::size_t active_dies = 0;
+    /** Deadline jobs that finished past their deadline
+     * (pool.deadline_misses_total). */
+    std::size_t deadline_misses = 0;
+    /** Lateness percentiles over completed deadline jobs, ms clamped
+     * at 0 (an early finish records 0), from pool.lateness_ms. */
+    double lateness_p50_ms = 0.0;
+    double lateness_p99_ms = 0.0;
+    /** Tasks preempted at a layer boundary and requeued
+     * (pool.preemptions_total). */
+    std::size_t preemptions = 0;
     std::vector<DieStats> dies;
     std::vector<OccupancyPoint> occupancy;
 
@@ -165,6 +248,10 @@ class PoolScheduler
     std::future<RunResult> submit(GraphSample sample,
                                   const RunOptions &opts,
                                   int priority = 0);
+    /** Full-spec admission: priority + deadline + runtime estimate. */
+    std::future<RunResult> submit(GraphSample sample,
+                                  const RunOptions &opts,
+                                  const JobSpec &spec);
 
     /**
      * Admits one sharded job: the sample is planned into
@@ -183,6 +270,12 @@ class PoolScheduler
                                                  const ShardConfig &shard,
                                                  const RunOptions &opts,
                                                  int priority = 0);
+    /** Full-spec sharded admission. `estimated_task_cycles` is per
+     * slice (the unit the scheduler dispatches). */
+    std::future<ShardedRunResult> submit_sharded(GraphSample sample,
+                                                 const ShardConfig &shard,
+                                                 const RunOptions &opts,
+                                                 const JobSpec &spec);
 
     /**
      * Sharded admission that delivers the merged answer as a plain
@@ -202,8 +295,26 @@ class PoolScheduler
 
     PoolStats stats() const;
 
+    /**
+     * Elasticity hook (the Autoscaler's actuator): caps how many
+     * tasks run concurrently to `n` dies, clamped to [1, num_dies()].
+     * Scaling down never interrupts running tasks — the pool shrinks
+     * as they finish — and a pending job wider than the cap raises
+     * the effective cap to its width (a gang must never deadlock
+     * against the autoscaler). Exported as pool.active_dies.
+     */
+    void set_active_dies(std::size_t n);
+    std::size_t active_dies() const;
+
     std::size_t num_dies() const { return pool_.size(); }
     const DiePool &pool() const { return pool_; }
+    /** The registry pool.* metrics land in (the config's, or the
+     * private one) — what the Autoscaler snapshots. */
+    const std::shared_ptr<obs::MetricsRegistry> &
+    metrics() const
+    {
+        return metrics_;
+    }
 
   private:
     struct Job;
@@ -215,14 +326,16 @@ class PoolScheduler
 
     std::future<RunResult> enqueue_fast(GraphSample sample,
                                         const RunOptions &opts,
-                                        int priority);
+                                        const JobSpec &spec);
     JobPtr make_sharded_job(GraphSample sample, const ShardConfig &shard,
-                            const RunOptions &opts, int priority,
+                            const RunOptions &opts, const JobSpec &spec,
                             bool deliver_sharded);
     void admit(const JobPtr &job);
     void die_loop(std::size_t die);
     bool try_pick(Dispatch &out) FLOWGNN_REQUIRES(mutex_);
     void finalize(const JobPtr &job);
+    std::size_t effective_active() const FLOWGNN_REQUIRES(mutex_);
+    void maybe_preempt(const JobPtr &urgent) FLOWGNN_REQUIRES(mutex_);
 
     const Model &model_;
     PoolConfig config_;
@@ -240,6 +353,20 @@ class PoolScheduler
     /** Jobs with undispatched tasks, FIFO. */
     std::deque<JobPtr> queue_ FLOWGNN_GUARDED_BY(mutex_);
     std::size_t tasks_running_ FLOWGNN_GUARDED_BY(mutex_) = 0;
+    /** Concurrency cap (autoscaler actuator); see set_active_dies. */
+    std::size_t active_dies_ FLOWGNN_GUARDED_BY(mutex_);
+    /** What each die is running right now (job null when idle), with
+     * the estimated finish EASY reservations are computed from. */
+    struct Running {
+        JobPtr job;
+        std::size_t task = 0;
+        bool has_est = false;
+        std::chrono::steady_clock::time_point est_finish{};
+    };
+    std::vector<Running> running_ FLOWGNN_GUARDED_BY(mutex_);
+    /** Per-die preemption flags (atomic; requested under mutex_ by
+     * maybe_preempt, polled lock-free by the engines). */
+    std::vector<std::unique_ptr<PreemptToken>> die_tokens_;
     std::size_t blocked_producers_ FLOWGNN_GUARDED_BY(mutex_) = 0;
     PoolPathStats fast_ FLOWGNN_GUARDED_BY(mutex_);
     PoolPathStats sharded_ FLOWGNN_GUARDED_BY(mutex_);
@@ -257,6 +384,10 @@ class PoolScheduler
     obs::Gauge &busy_dies_gauge_;
     obs::Gauge &queue_depth_gauge_;
     obs::Histogram &queue_delay_hist_;
+    obs::Counter &deadline_miss_ctr_;
+    obs::Counter &preempt_ctr_;
+    obs::Gauge &active_dies_gauge_;
+    obs::Histogram &lateness_hist_;
 };
 
 } // namespace flowgnn

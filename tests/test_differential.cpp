@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "ghost/ghost_engine.h"
 #include "shard/sharded_engine.h"
 #include "tensor/ops.h"
 #include "testing_util.h"
@@ -283,6 +284,75 @@ TEST(DifferentialFuzz, GhostFixedPointStaysBitExactWhenOrderPreserved)
                 0.0f);
             EXPECT_EQ(sharded.prediction, single.prediction);
             ++i;
+        }
+    }
+}
+
+TEST(DifferentialFuzz, GhostPreemptAtEveryLayerBitIdentical)
+{
+    // Layer-boundary preemption sweep: a GCN-16 ghost run is forced to
+    // checkpoint after every k = 1, 2, ... stages and resumed, for all
+    // seven partition strategies. Each resumed run must reproduce the
+    // uninterrupted run bit for bit — embeddings, prediction, and the
+    // composed cycle counts (the per-die timing passes are structural
+    // and run once at completion, so even timing cannot drift).
+    constexpr ShardStrategy kStrategies[] = {
+        ShardStrategy::kModulo,        ShardStrategy::kContiguous,
+        ShardStrategy::kGreedyBalanced, ShardStrategy::kBfsContiguous,
+        ShardStrategy::kLdg,           ShardStrategy::kFennel,
+        ShardStrategy::kHdrf,
+    };
+    const std::uint64_t seed = 0x9AAD0000ull;
+    Model model = make_model(ModelKind::kGcn16, 8, 0, seed);
+    GraphSample sample = make_random_sample(
+        make_random_graph(1, 180, seed), 8, 0, seed + 1);
+    GraphSample prepared = model.prepare(sample);
+    EngineConfig cfg;
+    RunOptions opts;
+    LinkConfig link;
+
+    for (ShardStrategy strategy : kStrategies) {
+        ShardConfig shard;
+        shard.num_shards = 3;
+        shard.strategy = strategy;
+        shard.mode = ShardMode::kGhostExchange;
+        SCOPED_TRACE(::testing::Message()
+                     << shard_strategy_name(strategy));
+
+        GhostPlan ref_plan = make_ghost_plan(model, prepared, shard);
+        ASSERT_TRUE(ref_plan.sharded);
+        ShardedRunResult ref = run_ghost_plan(
+            model, cfg, prepared, std::move(ref_plan), opts, link);
+
+        for (std::size_t k = 1;; ++k) {
+            SCOPED_TRACE(::testing::Message() << "preempt at k=" << k);
+            GhostResumeState state;
+            state.max_stages = k;
+            GhostPlan plan = make_ghost_plan(model, prepared, shard);
+            ShardedRunResult got = run_ghost_plan(
+                model, cfg, SampleRef(prepared), std::move(plan), opts,
+                link, &state);
+            const bool hit_boundary = state.preempted;
+            if (hit_boundary) {
+                ASSERT_EQ(state.checkpoint.next_stage, k);
+                state.max_stages = std::size_t(-1);
+                got = run_ghost_plan(model, cfg, SampleRef(prepared),
+                                     std::move(state.plan), opts, link,
+                                     &state);
+                ASSERT_FALSE(state.preempted);
+            }
+            EXPECT_EQ(max_abs_diff(got.embeddings, ref.embeddings),
+                      0.0f);
+            EXPECT_EQ(got.prediction, ref.prediction);
+            EXPECT_EQ(got.stats.total_cycles, ref.stats.total_cycles);
+            EXPECT_EQ(got.stats.comm_cycles, ref.stats.comm_cycles);
+            ASSERT_EQ(got.shards.size(), ref.shards.size());
+            for (std::size_t s = 0; s < ref.shards.size(); ++s)
+                EXPECT_EQ(got.shards[s].stats.total_cycles,
+                          ref.shards[s].stats.total_cycles)
+                    << "shard " << s;
+            if (!hit_boundary)
+                break; // k reached the stage count: sweep complete
         }
     }
 }

@@ -310,6 +310,55 @@ TEST(ObsRegistry, DeltaSubtractsEarlierSnapshot)
     EXPECT_EQ(d.counters.at("jobs"), 3u);
 }
 
+TEST(ObsRegistry, DeltaIsTheAutoscalerInputContract)
+{
+    // The pool autoscaler consumes snapshot().delta(prev) windows, so
+    // the delta semantics are load-bearing: counters subtract (and a
+    // quiet window reads 0), gauges keep their last value (they are
+    // levels, not flows), and a histogram delta reproduces only the
+    // window's samples — quantiles on a known ramp included.
+    MetricsRegistry reg;
+    Counter &jobs = reg.counter("pool.jobs_total");
+    Gauge &busy = reg.gauge("pool.busy_dies");
+    Histogram &delay = reg.histogram("pool.queue_delay_ms");
+
+    jobs.add(10);
+    busy.set(4.0);
+    for (int v = 1; v <= 100; ++v)
+        delay.record(v); // ramp 1..100 before the window
+    MetricsSnapshot early = reg.snapshot();
+
+    // Counter monotonicity across the window: the delta is exactly
+    // the in-window increment, never negative.
+    jobs.add(7);
+    busy.set(1.0); // level drops: delta must report the NEW level
+    for (int v = 101; v <= 200; ++v)
+        delay.record(v); // in-window ramp 101..200
+    MetricsSnapshot late = reg.snapshot();
+    ASSERT_GE(late.counters.at("pool.jobs_total"),
+              early.counters.at("pool.jobs_total"))
+        << "counters are monotone between snapshots";
+
+    MetricsSnapshot d = late.delta(early);
+    EXPECT_EQ(d.counters.at("pool.jobs_total"), 7u);
+    EXPECT_DOUBLE_EQ(d.gauges.at("pool.busy_dies"), 1.0)
+        << "gauge delta is last-value, not a difference";
+
+    const HistogramSnapshot &h = d.histograms.at("pool.queue_delay_ms");
+    EXPECT_EQ(h.count, 100u) << "only the window's samples remain";
+    // Nearest-rank quantiles of the in-window ramp 101..200, within
+    // the sketch's relative-error bound alpha.
+    EXPECT_NEAR(h.quantile(0.5), 150.0, 150.0 * 2 * h.alpha);
+    EXPECT_NEAR(h.quantile(0.99), 199.0, 199.0 * 2 * h.alpha);
+    EXPECT_GE(h.quantile(0.0), 101.0 * (1.0 - 2 * h.alpha));
+    EXPECT_LE(h.quantile(1.0), 200.0 * (1.0 + 2 * h.alpha));
+
+    // A quiet window: zero deltas, empty histogram window.
+    MetricsSnapshot quiet = reg.snapshot().delta(late);
+    EXPECT_EQ(quiet.counters.at("pool.jobs_total"), 0u);
+    EXPECT_EQ(quiet.histograms.at("pool.queue_delay_ms").count, 0u);
+}
+
 TEST(ObsRegistry, TypeConflictThrows)
 {
     MetricsRegistry reg;
